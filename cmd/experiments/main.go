@@ -1,0 +1,173 @@
+// Command experiments regenerates the paper's tables and figures on the
+// scaled simulator. Each experiment prints one or more text tables whose rows
+// correspond to the series plotted in the paper.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -exp table3,fig9 -scale quick
+//	experiments -exp all -scale default -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiment"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		expList   = flag.String("exp", "all", "comma-separated experiment ids (table1,table2,fig1a,fig1b,fig2,fig9,table3,fig10,fig11,fig12,fig13,abl-deboost,abl-bound,utilization) or 'all'")
+		scaleName = flag.String("scale", "quick", "evaluation scale: quick, default, or full")
+		seed      = flag.Uint64("seed", 1, "top-level random seed")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		list      = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("table1      workload parameters")
+		fmt.Println("table2      simulated system configuration")
+		fmt.Println("fig1a       load-latency curves per LC app")
+		fmt.Println("fig1b       service-time CDFs per LC app")
+		fmt.Println("fig2        LLC reuse breakdown at 2MB and 8MB")
+		fmt.Println("fig9        tail/speedup distributions for all schemes (also produces table3 and fig10)")
+		fmt.Println("table3      average weighted speedups per scheme")
+		fmt.Println("fig10       per-app results, OOO cores")
+		fmt.Println("fig11       per-app results, in-order cores")
+		fmt.Println("fig12       Ubik slack sensitivity")
+		fmt.Println("fig13       partitioning-scheme sensitivity")
+		fmt.Println("abl-deboost ablation: accurate de-boosting")
+		fmt.Println("abl-bound   ablation: transient bounds vs exact sums")
+		fmt.Println("utilization Section 7.1 utilization estimate")
+		return
+	}
+
+	scale, err := scaleByName(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	scale.Seed = *seed
+	cfg := sim.DefaultConfig()
+	cfg.Seed = *seed
+
+	wanted := map[string]bool{}
+	for _, e := range strings.Split(*expList, ",") {
+		wanted[strings.TrimSpace(e)] = true
+	}
+	all := wanted["all"]
+	want := func(id string) bool { return all || wanted[id] }
+
+	emit := func(tables ...experiment.Table) {
+		for _, t := range tables {
+			if *csv {
+				fmt.Printf("# %s: %s\n%s\n", t.ID, t.Title, t.CSV())
+			} else {
+				fmt.Println(t.String())
+			}
+		}
+	}
+
+	if want("table1") {
+		emit(experiment.Table1Workloads())
+	}
+	if want("table2") {
+		emit(experiment.Table2System(cfg))
+	}
+	if want("fig1a") {
+		tables, err := experiment.Fig1LoadLatency(cfg, scale)
+		if err != nil {
+			fatal(err)
+		}
+		emit(tables...)
+	}
+	if want("fig1b") {
+		tables, err := experiment.Fig1ServiceCDF(cfg, scale)
+		if err != nil {
+			fatal(err)
+		}
+		emit(tables...)
+	}
+	if want("fig2") {
+		tables, err := experiment.Fig2Breakdown(cfg, scale)
+		if err != nil {
+			fatal(err)
+		}
+		emit(tables...)
+	}
+	if want("fig9") || want("table3") || want("fig10") {
+		records, err := experiment.RunMainComparison(cfg, scale)
+		if err != nil {
+			fatal(err)
+		}
+		if want("fig9") {
+			emit(experiment.Fig9Distributions(records)...)
+		}
+		if want("table3") {
+			emit(experiment.Table3Speedups(records))
+		}
+		if want("fig10") {
+			emit(experiment.PerAppTables(records, "fig10", "OOO cores")...)
+		}
+	}
+	if want("fig11") {
+		tables, _, err := experiment.Fig11InOrder(cfg, scale)
+		if err != nil {
+			fatal(err)
+		}
+		emit(tables...)
+	}
+	if want("fig12") {
+		tables, _, err := experiment.Fig12Slack(cfg, scale)
+		if err != nil {
+			fatal(err)
+		}
+		emit(tables...)
+	}
+	if want("fig13") {
+		tables, err := experiment.Fig13PartScheme(cfg, scale)
+		if err != nil {
+			fatal(err)
+		}
+		emit(tables...)
+	}
+	if want("abl-deboost") {
+		t, err := experiment.AblationDeboost(cfg, scale)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+	}
+	if want("abl-bound") {
+		t, err := experiment.AblationTransientBound(cfg, scale)
+		if err != nil {
+			fatal(err)
+		}
+		emit(t)
+	}
+	if want("utilization") {
+		emit(experiment.UtilizationEstimate(0.2, 3, 6))
+	}
+}
+
+func scaleByName(name string) (experiment.Scale, error) {
+	switch name {
+	case "quick":
+		return experiment.QuickScale(), nil
+	case "default":
+		return experiment.DefaultScale(), nil
+	case "full":
+		return experiment.FullScale(), nil
+	default:
+		return experiment.Scale{}, fmt.Errorf("unknown scale %q (want quick, default, or full)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

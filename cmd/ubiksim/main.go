@@ -1,0 +1,149 @@
+// Command ubiksim runs a single workload mix (latency-critical instances plus
+// batch applications) under one cache-management scheme and prints per-
+// application latency and throughput results, including tail-latency
+// degradation against the isolated baseline.
+//
+// Example:
+//
+//	ubiksim -lc specjbb -load 0.2 -instances 3 -batch mcf,libquantum,soplex -scheme ubik -slack 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		lcName     = flag.String("lc", "specjbb", "latency-critical application (xapian, masstree, moses, shore, specjbb)")
+		load       = flag.Float64("load", 0.2, "offered load for the latency-critical app (0,1)")
+		instances  = flag.Int("instances", 3, "number of latency-critical instances")
+		batchList  = flag.String("batch", "mcf,libquantum,soplex", "comma-separated batch applications")
+		schemeName = flag.String("scheme", "ubik", "management scheme: lru, ucp, onoff, staticlc, ubik")
+		slack      = flag.Float64("slack", 0.05, "Ubik tail-latency slack")
+		reqFactor  = flag.Float64("requests", 0.25, "request-count scale factor")
+		seed       = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cfg := sim.DefaultConfig()
+	cfg.Seed = *seed
+
+	lc, err := workload.LCByName(*lcName)
+	if err != nil {
+		fatal(err)
+	}
+	var batches []workload.BatchProfile
+	for _, name := range strings.Split(*batchList, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		b, err := workload.BatchByName(name)
+		if err != nil {
+			fatal(err)
+		}
+		batches = append(batches, b)
+	}
+
+	pol, unpartitioned, err := buildPolicy(*schemeName, *slack)
+	if err != nil {
+		fatal(err)
+	}
+	if unpartitioned {
+		cfg.LLC.Mode = cache.ModeLRU
+	}
+
+	fmt.Printf("Calibrating %s at %.0f%% load...\n", lc.Name, *load*100)
+	base, err := sim.MeasureLCBaseline(cfg, lc, lc.TargetLines(), *load, *reqFactor)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  isolated: mean service %.0f cycles, mean latency %.0f, 95%% tail %.0f\n",
+		base.MeanServiceCycles, base.MeanLatency, base.TailLatency)
+
+	// Pool isolated latencies on the same instance seeds used in the mix.
+	pooledBase := stats.NewSample(256)
+	var specs []sim.AppSpec
+	for i := 0; i < *instances; i++ {
+		instSeed := workload.SplitSeed(*seed, uint64(1000+i))
+		iso, err := sim.RunIsolatedLC(cfg, lc, lc.TargetLines(), base.MeanInterarrival, *reqFactor, instSeed)
+		if err != nil {
+			fatal(err)
+		}
+		pooledBase.AddAll(iso.LCResults()[0].Latencies.Values())
+		specs = append(specs, sim.AppSpec{
+			LC: &lc, Load: *load, MeanInterarrival: base.MeanInterarrival,
+			DeadlineCycles: uint64(base.TailLatency), RequestFactor: *reqFactor, Seed: instSeed,
+		})
+	}
+	baseTail, err := pooledBase.TailMean(cfg.TailPercentile)
+	if err != nil {
+		fatal(err)
+	}
+
+	var batchBaselines []float64
+	for i := range batches {
+		ipc, err := sim.MeasureBatchBaselineIPC(cfg, batches[i], sim.LinesFor2MB, batches[i].ROIInstructions)
+		if err != nil {
+			fatal(err)
+		}
+		batchBaselines = append(batchBaselines, ipc)
+		specs = append(specs, sim.AppSpec{Batch: &batches[i]})
+	}
+
+	fmt.Printf("Running mix under %s...\n", pol.Name())
+	res, err := sim.RunMix(cfg, specs, pol)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("\n%-12s %-6s %12s %12s %10s %8s\n", "app", "kind", "mean_latency", "tail95", "IPC", "missrate")
+	for _, a := range res.Apps {
+		kind := "batch"
+		if a.LatencyCritical {
+			kind = "LC"
+		}
+		fmt.Printf("%-12s %-6s %12.0f %12.0f %10.3f %8.3f\n",
+			a.Name, kind, a.MeanLatency, a.TailLatency, a.IPC, a.MissRate)
+	}
+	ws, err := res.WeightedSpeedup(batchBaselines)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\npooled LC tail latency:   %.0f cycles\n", res.PooledLCTail(cfg.TailPercentile))
+	fmt.Printf("isolated pooled tail:     %.0f cycles\n", baseTail)
+	fmt.Printf("tail latency degradation: %.3fx\n", res.PooledLCTail(cfg.TailPercentile)/baseTail)
+	fmt.Printf("batch weighted speedup:   %.3fx\n", ws)
+}
+
+func buildPolicy(name string, slack float64) (policy.Policy, bool, error) {
+	switch strings.ToLower(name) {
+	case "lru":
+		return policy.NewLRU(), true, nil
+	case "ucp":
+		return policy.NewUCP(), false, nil
+	case "onoff":
+		return policy.NewOnOff(), false, nil
+	case "staticlc":
+		return policy.NewStaticLC(), false, nil
+	case "ubik":
+		return core.NewUbikWithSlack(slack), false, nil
+	default:
+		return nil, false, fmt.Errorf("unknown scheme %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ubiksim:", err)
+	os.Exit(1)
+}

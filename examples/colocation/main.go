@@ -1,0 +1,101 @@
+// Colocation: the paper's motivating scenario. Three instances of a latency-
+// critical server share a six-core CMP with three batch applications, and the
+// example compares all five management schemes (LRU, UCP, OnOff, StaticLC,
+// Ubik) on two axes: how much the latency-critical tail degrades versus
+// running alone on a private LLC, and how much batch throughput the colocation
+// recovers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	cfg := sim.DefaultConfig()
+	cfg.Seed = 7
+
+	lc, err := workload.LCByName("specjbb")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const load, requests, instances = 0.2, 0.2, 3
+
+	base, err := sim.MeasureLCBaseline(cfg, lc, lc.TargetLines(), load, requests)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pool the isolated latencies over the same per-instance seeds the mix
+	// will use, so degradation is measured on identical request streams.
+	pooled := stats.NewSample(512)
+	var lcSpecs []sim.AppSpec
+	for i := 0; i < instances; i++ {
+		seed := workload.SplitSeed(cfg.Seed, uint64(100+i))
+		iso, err := sim.RunIsolatedLC(cfg, lc, lc.TargetLines(), base.MeanInterarrival, requests, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pooled.AddAll(iso.LCResults()[0].Latencies.Values())
+		lcSpecs = append(lcSpecs, sim.AppSpec{
+			LC: &lc, Load: load, MeanInterarrival: base.MeanInterarrival,
+			DeadlineCycles: uint64(base.TailLatency), RequestFactor: requests, Seed: seed,
+		})
+	}
+	baseTail, err := pooled.TailMean(cfg.TailPercentile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("specjbb isolated pooled 95%% tail: %.0f cycles\n\n", baseTail)
+
+	batchNames := []string{"mcf", "libquantum", "soplex"}
+	var batchSpecs []sim.AppSpec
+	var baselines []float64
+	for _, name := range batchNames {
+		b, err := workload.BatchByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ipc, err := sim.MeasureBatchBaselineIPC(cfg, b, sim.LinesFor2MB, b.ROIInstructions)
+		if err != nil {
+			log.Fatal(err)
+		}
+		baselines = append(baselines, ipc)
+		bc := b
+		batchSpecs = append(batchSpecs, sim.AppSpec{Batch: &bc})
+	}
+
+	schemes := []struct {
+		pol           policy.Policy
+		unpartitioned bool
+	}{
+		{policy.NewLRU(), true},
+		{policy.NewUCP(), false},
+		{policy.NewOnOff(), false},
+		{policy.NewStaticLC(), false},
+		{core.NewUbikWithSlack(0.05), false},
+	}
+	fmt.Printf("%-16s %22s %22s\n", "scheme", "tail degradation", "batch weighted speedup")
+	for _, s := range schemes {
+		runCfg := cfg
+		if s.unpartitioned {
+			runCfg.LLC.Mode = cache.ModeLRU
+		}
+		res, err := sim.RunMix(runCfg, append(append([]sim.AppSpec{}, lcSpecs...), batchSpecs...), s.pol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ws, err := res.WeightedSpeedup(baselines)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s %21.3fx %21.3fx\n", s.pol.Name(), res.PooledLCTail(cfg.TailPercentile)/baseTail, ws)
+	}
+}

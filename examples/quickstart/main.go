@@ -1,0 +1,70 @@
+// Quickstart: simulate one latency-critical application colocated with two
+// batch applications, first under StaticLC (safe but wasteful) and then under
+// Ubik, and print tail latency and batch throughput for both. This is the
+// smallest end-to-end use of the library: build a config, calibrate a
+// baseline, describe the mix, pick a policy, run.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	cfg := sim.DefaultConfig()
+	cfg.Seed = 42
+
+	// The latency-critical application: masstree at 20% load.
+	lc, err := workload.LCByName("masstree")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const load, requests = 0.2, 0.25
+
+	// Calibrate its isolated behaviour on a private "2 MB" LLC: this gives the
+	// arrival rate for the requested load and the tail-latency deadline.
+	base, err := sim.MeasureLCBaseline(cfg, lc, lc.TargetLines(), load, requests)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("masstree isolated: mean latency %.0f cycles, 95%% tail %.0f cycles\n",
+		base.MeanLatency, base.TailLatency)
+
+	// Two batch applications that want cache space.
+	mcf, _ := workload.BatchByName("mcf")
+	libq, _ := workload.BatchByName("libquantum")
+	mcfIPC, err := sim.MeasureBatchBaselineIPC(cfg, mcf, sim.LinesFor2MB, mcf.ROIInstructions)
+	if err != nil {
+		log.Fatal(err)
+	}
+	libqIPC, err := sim.MeasureBatchBaselineIPC(cfg, libq, sim.LinesFor2MB, libq.ROIInstructions)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	specs := []sim.AppSpec{
+		{LC: &lc, Load: load, MeanInterarrival: base.MeanInterarrival,
+			DeadlineCycles: uint64(base.TailLatency), RequestFactor: requests},
+		{Batch: &mcf},
+		{Batch: &libq},
+	}
+
+	for _, pol := range []policy.Policy{policy.NewStaticLC(), core.NewUbikWithSlack(0.05)} {
+		res, err := sim.RunMix(cfg, specs, pol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ws, err := res.WeightedSpeedup([]float64{mcfIPC, libqIPC})
+		if err != nil {
+			log.Fatal(err)
+		}
+		lcRes := res.LCResults()[0]
+		fmt.Printf("%-16s tail %.0f cycles (%.2fx isolated), batch weighted speedup %.3fx\n",
+			pol.Name(), lcRes.TailLatency, lcRes.TailLatency/base.TailLatency, ws)
+	}
+}

@@ -1,0 +1,72 @@
+// Slacksweep: demonstrate Ubik's tail-latency / batch-throughput trade-off
+// (Figure 12). One latency-critical application is colocated with batch
+// applications under Ubik configured with 0%, 1%, 5% and 10% slack; more slack
+// frees more cache for the batch applications at the cost of a bounded
+// increase in tail latency.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	cfg := sim.DefaultConfig()
+	cfg.Seed = 21
+
+	lc, err := workload.LCByName("shore")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const load, requests = 0.2, 0.25
+
+	base, err := sim.MeasureLCBaseline(cfg, lc, lc.TargetLines(), load, requests)
+	if err != nil {
+		log.Fatal(err)
+	}
+	iso, err := sim.RunIsolatedLC(cfg, lc, lc.TargetLines(), base.MeanInterarrival, requests, 77)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseTail := iso.LCResults()[0].TailLatency
+	fmt.Printf("shore isolated 95%% tail: %.0f cycles\n\n", baseTail)
+
+	batchNames := []string{"milc", "omnetpp", "sphinx3"}
+	var specs []sim.AppSpec
+	specs = append(specs, sim.AppSpec{
+		LC: &lc, Load: load, MeanInterarrival: base.MeanInterarrival,
+		DeadlineCycles: uint64(base.TailLatency), RequestFactor: requests, Seed: 77,
+	})
+	var baselines []float64
+	for _, name := range batchNames {
+		b, err := workload.BatchByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ipc, err := sim.MeasureBatchBaselineIPC(cfg, b, sim.LinesFor2MB, b.ROIInstructions)
+		if err != nil {
+			log.Fatal(err)
+		}
+		baselines = append(baselines, ipc)
+		bc := b
+		specs = append(specs, sim.AppSpec{Batch: &bc})
+	}
+
+	fmt.Printf("%-12s %18s %22s\n", "slack", "tail degradation", "batch weighted speedup")
+	for _, slack := range []float64{0, 0.01, 0.05, 0.10} {
+		res, err := sim.RunMix(cfg, specs, core.NewUbikWithSlack(slack))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ws, err := res.WeightedSpeedup(baselines)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tail := res.LCResults()[0].TailLatency
+		fmt.Printf("%-12s %17.3fx %21.3fx\n", fmt.Sprintf("%.0f%%", slack*100), tail/baseTail, ws)
+	}
+}

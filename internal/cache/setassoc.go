@@ -1,0 +1,331 @@
+package cache
+
+import "fmt"
+
+// SetAssoc is a set-associative cache array with LRU ordering inside each set.
+// It supports three victim-selection modes: unpartitioned LRU, Vantage-style
+// partitioning (soft partitioning on a set-associative array, as in Figure 13
+// of the paper), and way-partitioning.
+type SetAssoc struct {
+	numSets  uint64
+	ways     int
+	mode     ReplacementMode
+	lines    []line // numSets * ways, set-major
+	parts    *partitionTable
+	stats    Stats
+	clock    uint64
+	wayOwner []PartitionID // way -> owning partition (ModeWayPartition only)
+}
+
+// NewSetAssoc builds a set-associative cache with totalLines lines and the
+// given associativity, replacement mode and partition count. totalLines must
+// be a multiple of ways and totalLines/ways must be a power of two.
+func NewSetAssoc(totalLines uint64, ways int, mode ReplacementMode, numPartitions int) (*SetAssoc, error) {
+	if ways <= 0 {
+		return nil, fmt.Errorf("cache: ways must be positive, got %d", ways)
+	}
+	if numPartitions <= 0 {
+		return nil, fmt.Errorf("cache: need at least one partition, got %d", numPartitions)
+	}
+	if totalLines == 0 || totalLines%uint64(ways) != 0 {
+		return nil, fmt.Errorf("cache: total lines %d must be a positive multiple of ways %d", totalLines, ways)
+	}
+	numSets := totalLines / uint64(ways)
+	if mode == ModeWayPartition && numPartitions > ways {
+		return nil, fmt.Errorf("cache: way-partitioning cannot support %d partitions with %d ways", numPartitions, ways)
+	}
+	c := &SetAssoc{
+		numSets: numSets,
+		ways:    ways,
+		mode:    mode,
+		lines:   make([]line, totalLines),
+		parts:   newPartitionTable(numPartitions),
+	}
+	if mode == ModeWayPartition {
+		c.wayOwner = make([]PartitionID, ways)
+		// Initially spread ways evenly across partitions.
+		for w := 0; w < ways; w++ {
+			c.wayOwner[w] = PartitionID(w % numPartitions)
+		}
+		c.syncTargetsFromWays()
+	}
+	return c, nil
+}
+
+// Mode returns the replacement mode.
+func (c *SetAssoc) Mode() ReplacementMode { return c.mode }
+
+// Ways returns the associativity.
+func (c *SetAssoc) Ways() int { return c.ways }
+
+// NumLines implements Cache.
+func (c *SetAssoc) NumLines() uint64 { return c.numSets * uint64(c.ways) }
+
+// NumPartitions implements Cache.
+func (c *SetAssoc) NumPartitions() int { return len(c.parts.targets) }
+
+// Stats implements Cache.
+func (c *SetAssoc) Stats() Stats { return c.stats }
+
+// PartitionStats implements Cache.
+func (c *SetAssoc) PartitionStats(p PartitionID) PartitionStats {
+	if !c.parts.valid(p) {
+		return PartitionStats{}
+	}
+	return c.parts.stats[p]
+}
+
+// ResetStats implements Cache.
+func (c *SetAssoc) ResetStats() {
+	c.stats = Stats{}
+	for i := range c.parts.stats {
+		c.parts.stats[i] = PartitionStats{}
+	}
+}
+
+// PartitionSize implements Cache.
+func (c *SetAssoc) PartitionSize(p PartitionID) uint64 {
+	if !c.parts.valid(p) {
+		return 0
+	}
+	return c.parts.sizes[p]
+}
+
+// PartitionTarget implements Cache.
+func (c *SetAssoc) PartitionTarget(p PartitionID) uint64 {
+	if !c.parts.valid(p) {
+		return 0
+	}
+	return c.parts.targets[p]
+}
+
+// SetPartitionTarget implements Cache. Under way-partitioning, targets are
+// quantised to whole ways and the way assignment is recomputed; existing
+// lines are not moved (reassigned ways are reclaimed lazily as their new
+// owner misses), which is what makes way-partitioning transients slow and
+// unpredictable.
+func (c *SetAssoc) SetPartitionTarget(p PartitionID, lines uint64) {
+	if !c.parts.valid(p) {
+		return
+	}
+	c.parts.targets[p] = lines
+	if c.mode == ModeWayPartition {
+		c.assignWaysFromTargets()
+	}
+}
+
+// assignWaysFromTargets converts line targets into whole-way ownership:
+// each partition gets at least one way if its target is nonzero, remaining
+// ways go to the partitions with the largest unmet targets.
+func (c *SetAssoc) assignWaysFromTargets() {
+	n := c.NumPartitions()
+	linesPerWay := c.numSets
+	wanted := make([]float64, n)
+	for p := 0; p < n; p++ {
+		wanted[p] = float64(c.parts.targets[p]) / float64(linesPerWay)
+	}
+	assigned := make([]int, n)
+	remaining := c.ways
+	// First pass: floor of wanted, at least one way for any nonzero target.
+	for p := 0; p < n && remaining > 0; p++ {
+		w := int(wanted[p])
+		if w == 0 && c.parts.targets[p] > 0 {
+			w = 1
+		}
+		if w > remaining {
+			w = remaining
+		}
+		assigned[p] = w
+		remaining -= w
+	}
+	// Second pass: hand out remaining ways by largest fractional remainder.
+	for remaining > 0 {
+		best, bestFrac := -1, -1.0
+		for p := 0; p < n; p++ {
+			frac := wanted[p] - float64(assigned[p])
+			if frac > bestFrac {
+				bestFrac = frac
+				best = p
+			}
+		}
+		if best < 0 {
+			break
+		}
+		assigned[best]++
+		remaining--
+	}
+	// Build the way->owner map in partition order.
+	w := 0
+	for p := 0; p < n; p++ {
+		for k := 0; k < assigned[p] && w < c.ways; k++ {
+			c.wayOwner[w] = PartitionID(p)
+			w++
+		}
+	}
+	for ; w < c.ways; w++ {
+		c.wayOwner[w] = PartitionID(0)
+	}
+}
+
+// syncTargetsFromWays sets the line targets implied by the current way
+// ownership (used at construction time).
+func (c *SetAssoc) syncTargetsFromWays() {
+	counts := make([]uint64, c.NumPartitions())
+	for _, owner := range c.wayOwner {
+		counts[owner] += c.numSets
+	}
+	copy(c.parts.targets, counts)
+}
+
+// WaysOwnedBy returns how many ways partition p currently owns
+// (ModeWayPartition only).
+func (c *SetAssoc) WaysOwnedBy(p PartitionID) int {
+	if c.mode != ModeWayPartition {
+		return 0
+	}
+	n := 0
+	for _, owner := range c.wayOwner {
+		if owner == p {
+			n++
+		}
+	}
+	return n
+}
+
+// Access implements Cache.
+func (c *SetAssoc) Access(addr uint64, part PartitionID, meta uint64) AccessResult {
+	if !c.parts.valid(part) {
+		part = 0
+	}
+	c.clock++
+	c.stats.Accesses++
+	c.parts.stats[part].Accesses++
+
+	setIdx := hashAddr(addr) % c.numSets
+	base := setIdx * uint64(c.ways)
+	set := c.lines[base : base+uint64(c.ways)]
+
+	// Lookup.
+	for i := range set {
+		if set[i].valid && set[i].addr == addr {
+			c.stats.Hits++
+			c.parts.stats[part].Hits++
+			res := AccessResult{Hit: true, PrevMeta: set[i].meta}
+			set[i].lastUse = c.clock
+			set[i].meta = meta
+			// A hit does not change partition ownership of the line: in the
+			// workloads used here address spaces are disjoint per app, so
+			// cross-partition hits do not occur in practice.
+			return res
+		}
+	}
+
+	// Miss: pick a victim way.
+	c.stats.Misses++
+	c.parts.stats[part].Misses++
+	victim, forced := c.chooseVictim(set, part)
+	res := AccessResult{}
+	v := &set[victim]
+	if v.valid {
+		res.Evicted = true
+		res.EvictedPartition = v.part
+		res.ForcedEviction = forced
+		c.stats.Evictions++
+		if forced {
+			c.stats.ForcedEvictions++
+		}
+		if c.parts.valid(v.part) {
+			c.parts.stats[v.part].Evictions++
+			if c.parts.sizes[v.part] > 0 {
+				c.parts.sizes[v.part]--
+			}
+		}
+	}
+	*v = line{valid: true, addr: addr, part: part, lastUse: c.clock, meta: meta}
+	c.parts.sizes[part]++
+	return res
+}
+
+// chooseVictim selects the way to replace within a set and reports whether the
+// eviction was "forced" (victim from a partition at or below its target).
+func (c *SetAssoc) chooseVictim(set []line, part PartitionID) (int, bool) {
+	// Invalid ways are always preferred.
+	switch c.mode {
+	case ModeWayPartition:
+		// Only the ways owned by this partition are candidates.
+		bestIdx, bestUse := -1, uint64(0)
+		for w := range set {
+			if c.wayOwner[w] != part {
+				continue
+			}
+			if !set[w].valid {
+				return w, false
+			}
+			if bestIdx < 0 || set[w].lastUse < bestUse {
+				bestIdx, bestUse = w, set[w].lastUse
+			}
+		}
+		if bestIdx < 0 {
+			// The partition owns no ways (target 0): fall back to global LRU.
+			return c.lruVictim(set), true
+		}
+		// Evicting another partition's leftover line from a reclaimed way is
+		// not a forced eviction; evicting our own line while at/below target
+		// is normal way-partition behaviour, also not "forced".
+		return bestIdx, false
+	case ModeVantage:
+		for w := range set {
+			if !set[w].valid {
+				return w, false
+			}
+		}
+		// Prefer the most over-quota partition; among its lines, the LRU one.
+		bestIdx, bestUse, bestOver := -1, uint64(0), uint64(0)
+		for w := range set {
+			over := c.parts.overQuota(set[w].part, part)
+			if over == 0 {
+				continue
+			}
+			if bestIdx < 0 || over > bestOver || (over == bestOver && set[w].lastUse < bestUse) {
+				bestIdx, bestUse, bestOver = w, set[w].lastUse, over
+			}
+		}
+		if bestIdx >= 0 {
+			return bestIdx, false
+		}
+		// No over-quota candidate in this set: forced eviction (the situation
+		// that makes Vantage on low-associativity arrays lose its guarantees).
+		return c.lruVictim(set), true
+	default: // ModeLRU
+		for w := range set {
+			if !set[w].valid {
+				return w, false
+			}
+		}
+		return c.lruVictim(set), false
+	}
+}
+
+func (c *SetAssoc) lruVictim(set []line) int {
+	best, bestUse := 0, set[0].lastUse
+	for w := 1; w < len(set); w++ {
+		if set[w].lastUse < bestUse {
+			best, bestUse = w, set[w].lastUse
+		}
+	}
+	return best
+}
+
+// Contains reports whether addr is currently cached (used by tests).
+func (c *SetAssoc) Contains(addr uint64) bool {
+	setIdx := hashAddr(addr) % c.numSets
+	base := setIdx * uint64(c.ways)
+	for i := 0; i < c.ways; i++ {
+		if c.lines[base+uint64(i)].valid && c.lines[base+uint64(i)].addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+var _ Cache = (*SetAssoc)(nil)

@@ -1,0 +1,306 @@
+package cache
+
+import "fmt"
+
+// ZCache is a skew-associative cache in the style of Sanchez & Kozyrakis
+// (MICRO 2010): each way indexes the array with its own hash function, and on
+// a replacement the cache walks the candidate graph (lines that could be
+// relocated into the slots of other candidates) to expand the number of
+// replacement candidates far beyond the number of ways. The paper's default
+// LLC is a 4-way, 52-candidate zcache partitioned with Vantage.
+//
+// The high, pattern-independent number of replacement candidates is what lets
+// Vantage guarantee that a partition below its target allocation is
+// essentially never victimised — the property Ubik's transient analysis needs.
+type ZCache struct {
+	numSetsPerWay uint64
+	ways          int
+	candidates    int
+	mode          ReplacementMode
+	lines         []line // ways * numSetsPerWay, way-major
+	parts         *partitionTable
+	stats         Stats
+	clock         uint64
+
+	// walk buffers, reused across replacements to avoid per-miss allocation.
+	walkNodes []walkNode
+	walkSeen  []uint64
+}
+
+// NewZCache builds a zcache with totalLines lines, the given number of ways
+// (hash functions) and replacement candidates per eviction. totalLines must be
+// a multiple of ways, and totalLines/ways must be a power of two.
+// candidates must be at least ways.
+func NewZCache(totalLines uint64, ways, candidates int, mode ReplacementMode, numPartitions int) (*ZCache, error) {
+	if ways <= 0 {
+		return nil, fmt.Errorf("cache: zcache ways must be positive, got %d", ways)
+	}
+	if candidates < ways {
+		return nil, fmt.Errorf("cache: zcache candidates %d must be >= ways %d", candidates, ways)
+	}
+	if numPartitions <= 0 {
+		return nil, fmt.Errorf("cache: need at least one partition, got %d", numPartitions)
+	}
+	if mode == ModeWayPartition {
+		return nil, fmt.Errorf("cache: way-partitioning is not defined for zcaches")
+	}
+	if totalLines == 0 || totalLines%uint64(ways) != 0 {
+		return nil, fmt.Errorf("cache: total lines %d must be a positive multiple of ways %d", totalLines, ways)
+	}
+	setsPerWay := totalLines / uint64(ways)
+	return &ZCache{
+		numSetsPerWay: setsPerWay,
+		ways:          ways,
+		candidates:    candidates,
+		mode:          mode,
+		lines:         make([]line, totalLines),
+		parts:         newPartitionTable(numPartitions),
+		walkNodes:     make([]walkNode, 0, candidates+ways),
+		walkSeen:      make([]uint64, 0, candidates+ways),
+	}, nil
+}
+
+// Mode returns the replacement mode.
+func (c *ZCache) Mode() ReplacementMode { return c.mode }
+
+// Ways returns the number of hash ways.
+func (c *ZCache) Ways() int { return c.ways }
+
+// Candidates returns the replacement-walk candidate budget.
+func (c *ZCache) Candidates() int { return c.candidates }
+
+// NumLines implements Cache.
+func (c *ZCache) NumLines() uint64 { return uint64(c.ways) * c.numSetsPerWay }
+
+// NumPartitions implements Cache.
+func (c *ZCache) NumPartitions() int { return len(c.parts.targets) }
+
+// Stats implements Cache.
+func (c *ZCache) Stats() Stats { return c.stats }
+
+// PartitionStats implements Cache.
+func (c *ZCache) PartitionStats(p PartitionID) PartitionStats {
+	if !c.parts.valid(p) {
+		return PartitionStats{}
+	}
+	return c.parts.stats[p]
+}
+
+// ResetStats implements Cache.
+func (c *ZCache) ResetStats() {
+	c.stats = Stats{}
+	for i := range c.parts.stats {
+		c.parts.stats[i] = PartitionStats{}
+	}
+}
+
+// PartitionSize implements Cache.
+func (c *ZCache) PartitionSize(p PartitionID) uint64 {
+	if !c.parts.valid(p) {
+		return 0
+	}
+	return c.parts.sizes[p]
+}
+
+// PartitionTarget implements Cache.
+func (c *ZCache) PartitionTarget(p PartitionID) uint64 {
+	if !c.parts.valid(p) {
+		return 0
+	}
+	return c.parts.targets[p]
+}
+
+// SetPartitionTarget implements Cache. Resizing a Vantage partition moves no
+// lines: a downsized partition simply becomes eligible for demotion on future
+// replacements, and an upsized partition grows by one line per miss until it
+// reaches its new target.
+func (c *ZCache) SetPartitionTarget(p PartitionID, lines uint64) {
+	if !c.parts.valid(p) {
+		return
+	}
+	c.parts.targets[p] = lines
+}
+
+// slot identifies one (way, index) position in the array.
+type slot struct {
+	way int
+	idx uint64
+}
+
+func (c *ZCache) slotPos(s slot) uint64 { return uint64(s.way)*c.numSetsPerWay + s.idx }
+
+func (c *ZCache) slotFor(addr uint64, way int) slot {
+	return slot{way: way, idx: hashAddrWay(addr, way) % c.numSetsPerWay}
+}
+
+// Access implements Cache.
+func (c *ZCache) Access(addr uint64, part PartitionID, meta uint64) AccessResult {
+	if !c.parts.valid(part) {
+		part = 0
+	}
+	c.clock++
+	c.stats.Accesses++
+	c.parts.stats[part].Accesses++
+
+	// Lookup: the line can only be in one of its ways' positions.
+	for w := 0; w < c.ways; w++ {
+		s := c.slotFor(addr, w)
+		ln := &c.lines[c.slotPos(s)]
+		if ln.valid && ln.addr == addr {
+			c.stats.Hits++
+			c.parts.stats[part].Hits++
+			res := AccessResult{Hit: true, PrevMeta: ln.meta}
+			ln.lastUse = c.clock
+			ln.meta = meta
+			return res
+		}
+	}
+
+	// Miss: run the replacement walk.
+	c.stats.Misses++
+	c.parts.stats[part].Misses++
+
+	victimIdx, forced := c.replacementWalk(addr, part)
+	res := AccessResult{}
+	victimSlot := c.walkNodes[victimIdx].s
+	v := &c.lines[c.slotPos(victimSlot)]
+	if v.valid {
+		res.Evicted = true
+		res.EvictedPartition = v.part
+		res.ForcedEviction = forced
+		c.stats.Evictions++
+		if forced {
+			c.stats.ForcedEvictions++
+		}
+		if c.parts.valid(v.part) {
+			c.parts.stats[v.part].Evictions++
+			if c.parts.sizes[v.part] > 0 {
+				c.parts.sizes[v.part]--
+			}
+		}
+	}
+	// Relocation chain: move each ancestor's line into its child's slot,
+	// freeing a root slot for the incoming line.
+	node := victimIdx
+	for c.walkNodes[node].parent >= 0 {
+		parent := c.walkNodes[node].parent
+		c.lines[c.slotPos(c.walkNodes[node].s)] = c.lines[c.slotPos(c.walkNodes[parent].s)]
+		node = parent
+	}
+	c.lines[c.slotPos(c.walkNodes[node].s)] = line{valid: true, addr: addr, part: part, lastUse: c.clock, meta: meta}
+	c.parts.sizes[part]++
+	return res
+}
+
+// walkNode is one node of the replacement-candidate BFS. parent indexes into
+// the walk buffer (-1 for roots).
+type walkNode struct {
+	s      slot
+	parent int
+}
+
+// replacementWalk expands replacement candidates breadth-first starting from
+// the incoming address's own slots, and picks a victim according to the
+// replacement mode. It returns the chosen node's index in the walk buffer (so
+// the relocation chain can be applied) and whether the eviction was forced.
+func (c *ZCache) replacementWalk(addr uint64, inserting PartitionID) (int, bool) {
+	all := c.walkNodes[:0]
+	seen := c.walkSeen[:0]
+
+	contains := func(pos uint64) bool {
+		for _, p := range seen {
+			if p == pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	for w := 0; w < c.ways; w++ {
+		s := c.slotFor(addr, w)
+		pos := c.slotPos(s)
+		if contains(pos) {
+			continue
+		}
+		seen = append(seen, pos)
+		all = append(all, walkNode{s: s, parent: -1})
+	}
+
+	// Expand breadth-first (the buffer itself is the queue) until the
+	// candidate budget is reached. Empty slots are terminal.
+	for scan := 0; scan < len(all) && len(all) < c.candidates; scan++ {
+		ln := c.lines[c.slotPos(all[scan].s)]
+		if !ln.valid {
+			continue
+		}
+		for w := 0; w < c.ways && len(all) < c.candidates; w++ {
+			if w == all[scan].s.way {
+				continue
+			}
+			s := c.slotFor(ln.addr, w)
+			pos := c.slotPos(s)
+			if contains(pos) {
+				continue
+			}
+			seen = append(seen, pos)
+			all = append(all, walkNode{s: s, parent: scan})
+		}
+	}
+	c.walkNodes = all
+	c.walkSeen = seen
+
+	// Victim selection over all candidates.
+	// 1. Any invalid slot wins outright (no eviction).
+	for i := range all {
+		if !c.lines[c.slotPos(all[i].s)].valid {
+			return i, false
+		}
+	}
+	switch c.mode {
+	case ModeVantage:
+		best := -1
+		var bestOver, bestUse uint64
+		for i := range all {
+			ln := &c.lines[c.slotPos(all[i].s)]
+			over := c.parts.overQuota(ln.part, inserting)
+			if over == 0 {
+				continue
+			}
+			if best < 0 || over > bestOver || (over == bestOver && ln.lastUse < bestUse) {
+				best, bestOver, bestUse = i, over, ln.lastUse
+			}
+		}
+		if best >= 0 {
+			return best, false
+		}
+		// All candidates belong to partitions at/below target: forced.
+		return c.lruNode(all), true
+	default: // ModeLRU
+		return c.lruNode(all), false
+	}
+}
+
+func (c *ZCache) lruNode(all []walkNode) int {
+	best := 0
+	bestUse := c.lines[c.slotPos(all[0].s)].lastUse
+	for i := 1; i < len(all); i++ {
+		if u := c.lines[c.slotPos(all[i].s)].lastUse; u < bestUse {
+			best, bestUse = i, u
+		}
+	}
+	return best
+}
+
+// Contains reports whether addr is currently cached (used by tests).
+func (c *ZCache) Contains(addr uint64) bool {
+	for w := 0; w < c.ways; w++ {
+		s := c.slotFor(addr, w)
+		ln := c.lines[c.slotPos(s)]
+		if ln.valid && ln.addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+var _ Cache = (*ZCache)(nil)

@@ -1,0 +1,67 @@
+package core
+
+// SlackController implements the adaptive miss-slack mechanism of Section 5.2:
+// given an allowed tail-latency degradation (the slack, a fraction of the
+// deadline), it converts observed request latencies into a "miss slack" — the
+// fraction of additional misses a request may suffer while staying within the
+// allowed degradation. A simple proportional feedback controller raises the
+// miss slack while requests finish comfortably inside the allowed latency and
+// lowers it when they approach or exceed it.
+type SlackController struct {
+	// Slack is the allowed tail-latency degradation (e.g. 0.05 for 5%).
+	Slack float64
+	// Gain is the proportional gain applied to the normalised latency error.
+	Gain float64
+	// MaxMissSlack caps the miss slack so one lucky stretch of requests cannot
+	// open the floodgates.
+	MaxMissSlack float64
+
+	missSlack float64
+}
+
+// NewSlackController returns a controller for the given tail-latency slack
+// with the default gain and cap.
+func NewSlackController(slack float64) *SlackController {
+	return &SlackController{Slack: slack, Gain: 0.05, MaxMissSlack: 4 * slack}
+}
+
+// MissSlack returns the current allowed fraction of additional misses.
+func (c *SlackController) MissSlack() float64 {
+	if c.Slack <= 0 {
+		return 0
+	}
+	return c.missSlack
+}
+
+// Observe feeds one completed request's latency and the application's deadline
+// (its tail-latency target) into the controller.
+func (c *SlackController) Observe(latencyCycles, deadlineCycles uint64) {
+	if c.Slack <= 0 || deadlineCycles == 0 {
+		return
+	}
+	allowed := float64(deadlineCycles) * (1 + c.Slack)
+	err := (allowed - float64(latencyCycles)) / allowed
+	gain := c.Gain
+	if gain <= 0 {
+		gain = 0.05
+	}
+	// Latency above the allowed bound shrinks the miss slack faster than
+	// comfortable latencies grow it, so recovery from over-shoots is quick.
+	if err < 0 {
+		err *= 4
+	}
+	c.missSlack += gain * err * c.Slack
+	max := c.MaxMissSlack
+	if max <= 0 {
+		max = 4 * c.Slack
+	}
+	if c.missSlack < 0 {
+		c.missSlack = 0
+	}
+	if c.missSlack > max {
+		c.missSlack = max
+	}
+}
+
+// Reset clears the accumulated miss slack.
+func (c *SlackController) Reset() { c.missSlack = 0 }

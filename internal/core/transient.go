@@ -1,0 +1,133 @@
+// Package core implements Ubik, the paper's contribution: a cache-partitioning
+// runtime that keeps latency-critical applications' tail latencies intact
+// while giving their idle-time cache space to batch applications. Ubik's key
+// mechanism is an analytic model of partition-resize transients under Vantage
+// partitioning (Section 5.1): because a growing partition gains exactly one
+// line per miss and never loses lines, both the duration of a resize transient
+// and the cycles it costs can be bounded online from the application's miss
+// curve, its average compute time between accesses (c), and its average
+// exposed miss penalty (M).
+package core
+
+import (
+	"math"
+
+	"repro/internal/monitor"
+)
+
+// minMissProb avoids division by zero for applications that essentially never
+// miss; a partition with a vanishing miss rate takes (effectively) forever to
+// fill, and the bounds below go to infinity accordingly.
+const minMissProb = 1e-9
+
+// TransientBoundCycles returns the paper's conservative upper bound on the
+// time for a partition to grow from s1 to s2 lines:
+//
+//	T_transient <= (s2 - s1) * (c/p_s2 + M)
+//
+// where p_s2 is the miss probability at the final size (the lowest miss
+// probability along the transient, hence the longest time between the misses
+// that grow the partition).
+func TransientBoundCycles(s1, s2 uint64, c, pS2, m float64) float64 {
+	if s2 <= s1 {
+		return 0
+	}
+	if pS2 < minMissProb {
+		return math.Inf(1)
+	}
+	return float64(s2-s1) * (c/pS2 + m)
+}
+
+// TransientExactCycles evaluates the exact summation
+//
+//	T_transient = sum_{s=s1}^{s2-1} (c/p_s + M)
+//
+// by integrating over the miss-probability curve in `steps` slices. It is used
+// by the transient-bound ablation; Ubik itself uses the conservative bound.
+func TransientExactCycles(curve monitor.MissCurve, s1, s2 uint64, c, m float64, steps int) float64 {
+	if s2 <= s1 {
+		return 0
+	}
+	if steps < 1 {
+		steps = 1
+	}
+	span := float64(s2 - s1)
+	total := 0.0
+	for i := 0; i < steps; i++ {
+		// Midpoint of this slice.
+		s := float64(s1) + span*(float64(i)+0.5)/float64(steps)
+		p := curve.MissProbAt(uint64(s))
+		if p < minMissProb {
+			return math.Inf(1)
+		}
+		total += (c/p + m) * span / float64(steps)
+	}
+	return total
+}
+
+// LostCyclesBound returns the paper's conservative upper bound on the cycles
+// lost during a transient from s1 to s2 compared to having started at s2:
+//
+//	L <= M * (s2 - s1) * (1 - p_s2/p_s1)
+//
+// p_s1 and p_s2 are the miss probabilities at the start and end sizes.
+func LostCyclesBound(s1, s2 uint64, pS1, pS2, m float64) float64 {
+	if s2 <= s1 {
+		return 0
+	}
+	if pS1 < minMissProb {
+		// The application barely misses even at the small size: nothing lost.
+		return 0
+	}
+	frac := 1 - pS2/pS1
+	if frac < 0 {
+		frac = 0
+	}
+	return m * float64(s2-s1) * frac
+}
+
+// LostCyclesExact evaluates the exact summation
+//
+//	L = M * sum_{s=s1}^{s2-1} (1 - p_s2/p_s)
+//
+// by integrating over the miss-probability curve in `steps` slices.
+func LostCyclesExact(curve monitor.MissCurve, s1, s2 uint64, m float64, steps int) float64 {
+	if s2 <= s1 {
+		return 0
+	}
+	if steps < 1 {
+		steps = 1
+	}
+	pEnd := curve.MissProbAt(s2)
+	span := float64(s2 - s1)
+	total := 0.0
+	for i := 0; i < steps; i++ {
+		s := float64(s1) + span*(float64(i)+0.5)/float64(steps)
+		p := curve.MissProbAt(uint64(s))
+		if p < minMissProb {
+			continue
+		}
+		frac := 1 - pEnd/p
+		if frac < 0 {
+			frac = 0
+		}
+		total += frac * span / float64(steps)
+	}
+	return m * total
+}
+
+// GainRatePerCycle returns the rate (cycles recovered per cycle of execution)
+// at which an application running with miss probability pAt recovers lost
+// cycles relative to running at a reference size with miss probability pRef:
+// each access saves (pRef - pAt)·M cycles and takes (c + pAt·M) cycles.
+func GainRatePerCycle(pRef, pAt, c, m float64) float64 {
+	saved := (pRef - pAt) * m
+	if saved <= 0 {
+		return 0
+	}
+	period := c + pAt*m
+	if period <= 0 {
+		return 0
+	}
+	return saved / period
+}

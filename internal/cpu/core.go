@@ -1,0 +1,169 @@
+// Package cpu provides the analytic core-timing models used by the simulator.
+// The paper evaluates both out-of-order (Westmere-like) and simple in-order
+// cores; what matters for cache-partitioning policies is how much of a miss's
+// latency the core actually stalls for, which these models capture with the
+// same c / M decomposition that Ubik's transient analysis uses (Section 5.1):
+// an access costs c cycles of compute plus, on a miss, an exposed penalty M.
+package cpu
+
+import "fmt"
+
+// Kind selects the core model.
+type Kind int
+
+const (
+	// OutOfOrder models a Westmere-like OOO core: overlapping misses share
+	// their latency, so the exposed penalty per miss is MemLatency divided by
+	// the application's achieved memory-level parallelism.
+	OutOfOrder Kind = iota
+	// InOrder models a simple stall-on-miss core (IPC=1 except on misses):
+	// every miss exposes the full memory latency.
+	InOrder
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case OutOfOrder:
+		return "OOO"
+	case InOrder:
+		return "InOrder"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Model is an analytic core-timing model.
+type Model struct {
+	// Kind selects OOO or in-order behaviour.
+	Kind Kind
+	// MemLatencyCycles is the main-memory access latency (Table 2: 200 cycles).
+	MemLatencyCycles float64
+	// L3HitLatencyCycles is the LLC hit latency (Table 2: 20 cycles).
+	L3HitLatencyCycles float64
+}
+
+// DefaultModel returns the Table 2 configuration for the given core kind.
+func DefaultModel(kind Kind) Model {
+	return Model{Kind: kind, MemLatencyCycles: 200, L3HitLatencyCycles: 20}
+}
+
+// Validate reports configuration problems.
+func (m Model) Validate() error {
+	if m.MemLatencyCycles <= 0 {
+		return fmt.Errorf("cpu: memory latency must be positive, got %v", m.MemLatencyCycles)
+	}
+	if m.L3HitLatencyCycles < 0 {
+		return fmt.Errorf("cpu: L3 hit latency must be non-negative, got %v", m.L3HitLatencyCycles)
+	}
+	return nil
+}
+
+// MissPenalty returns M, the exposed cycles per LLC miss for an application
+// with the given memory-level parallelism.
+func (m Model) MissPenalty(appMLP float64) float64 {
+	if appMLP < 1 {
+		appMLP = 1
+	}
+	switch m.Kind {
+	case InOrder:
+		return m.MemLatencyCycles
+	default:
+		return m.MemLatencyCycles / appMLP
+	}
+}
+
+// HitPenalty returns the exposed cycles added by an LLC hit. OOO cores hide
+// most of the (short) hit latency; in-order cores expose it fully.
+func (m Model) HitPenalty(appMLP float64) float64 {
+	if appMLP < 1 {
+		appMLP = 1
+	}
+	switch m.Kind {
+	case InOrder:
+		return m.L3HitLatencyCycles
+	default:
+		return m.L3HitLatencyCycles / appMLP
+	}
+}
+
+// ComputeCyclesPerAccess returns c, the compute cycles between consecutive LLC
+// accesses if every access hit, for an application with the given base CPI
+// (cycles per instruction with a perfect LLC) and APKI.
+//
+// For the in-order model the base CPI is clamped to at least 1 (the paper's
+// simple cores execute one instruction per cycle except on misses).
+func (m Model) ComputeCyclesPerAccess(baseCPI, apki float64) float64 {
+	if apki <= 0 {
+		return 0
+	}
+	cpi := baseCPI
+	if m.Kind == InOrder && cpi < 1 {
+		cpi = 1
+	}
+	return cpi * 1000 / apki
+}
+
+// AccessCycles returns the total cycles one LLC access epoch consumes:
+// the compute time between accesses plus the exposed hit or miss penalty.
+func (m Model) AccessCycles(baseCPI, apki, appMLP float64, miss bool) float64 {
+	c := m.ComputeCyclesPerAccess(baseCPI, apki)
+	if miss {
+		return c + m.MissPenalty(appMLP)
+	}
+	return c + m.HitPenalty(appMLP)
+}
+
+// PerfCounters accumulates the architectural counters the Ubik runtime reads:
+// instructions, cycles, LLC accesses and misses. They are windowed by
+// subtraction, like UMON snapshots.
+type PerfCounters struct {
+	Instructions uint64
+	Cycles       uint64
+	LLCAccesses  uint64
+	LLCMisses    uint64
+}
+
+// Add accumulates the counters from a single access epoch.
+func (p *PerfCounters) Add(instructions, cycles uint64, miss bool) {
+	p.Instructions += instructions
+	p.Cycles += cycles
+	p.LLCAccesses++
+	if miss {
+		p.LLCMisses++
+	}
+}
+
+// Sub returns the counters accumulated since an earlier snapshot.
+func (p PerfCounters) Sub(since PerfCounters) PerfCounters {
+	return PerfCounters{
+		Instructions: p.Instructions - since.Instructions,
+		Cycles:       p.Cycles - since.Cycles,
+		LLCAccesses:  p.LLCAccesses - since.LLCAccesses,
+		LLCMisses:    p.LLCMisses - since.LLCMisses,
+	}
+}
+
+// IPC returns instructions per cycle over the counter window.
+func (p PerfCounters) IPC() float64 {
+	if p.Cycles == 0 {
+		return 0
+	}
+	return float64(p.Instructions) / float64(p.Cycles)
+}
+
+// MissRate returns LLC misses per access over the counter window.
+func (p PerfCounters) MissRate() float64 {
+	if p.LLCAccesses == 0 {
+		return 0
+	}
+	return float64(p.LLCMisses) / float64(p.LLCAccesses)
+}
+
+// APKI returns LLC accesses per thousand instructions over the window.
+func (p PerfCounters) APKI() float64 {
+	if p.Instructions == 0 {
+		return 0
+	}
+	return float64(p.LLCAccesses) * 1000 / float64(p.Instructions)
+}

@@ -1,0 +1,427 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (Section 3 characterization and Section 7 results) on top of the
+// simulator: load-latency curves, service-time CDFs, the LLC reuse breakdown,
+// the 400-mix policy comparison, per-application results on OOO and in-order
+// cores, slack sensitivity, partitioning-scheme sensitivity, and two ablations
+// of Ubik's design choices.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/mix"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Scale selects how much of the paper-scale evaluation to run. The paper
+// simulated over 10^15 instructions; the scaled defaults keep every experiment
+// runnable on a laptop while preserving the result shapes.
+type Scale struct {
+	// RequestFactor multiplies each latency-critical profile's request count.
+	RequestFactor float64
+	// MixesPerLC is how many batch mixes each latency-critical configuration
+	// is paired with (40 = the full matrix).
+	MixesPerLC int
+	// BatchROI is the batch applications' region of interest in instructions.
+	BatchROI uint64
+	// LoadPoints is the number of load points in the Figure 1 load sweep.
+	LoadPoints int
+	// Seed drives mix selection and all run randomness.
+	Seed uint64
+	// Parallelism bounds concurrent mix simulations (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// QuickScale is sized for benchmarks and smoke tests (minutes for the whole
+// suite).
+func QuickScale() Scale {
+	return Scale{RequestFactor: 0.08, MixesPerLC: 1, BatchROI: 300_000, LoadPoints: 4, Seed: 1}
+}
+
+// DefaultScale is the development default: small but statistically meaningful.
+func DefaultScale() Scale {
+	return Scale{RequestFactor: 0.25, MixesPerLC: 4, BatchROI: 600_000, LoadPoints: 6, Seed: 1}
+}
+
+// FullScale approximates the paper's evaluation breadth (all 400 mixes, full
+// request counts); expect hours of runtime.
+func FullScale() Scale {
+	return Scale{RequestFactor: 1.0, MixesPerLC: 40, BatchROI: 1_500_000, LoadPoints: 9, Seed: 1}
+}
+
+func (s Scale) parallelism() int {
+	if s.Parallelism > 0 {
+		return s.Parallelism
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (s Scale) requestFactor() float64 {
+	if s.RequestFactor <= 0 {
+		return 1
+	}
+	return s.RequestFactor
+}
+
+// Scheme bundles a management policy with the cache organisation it runs on.
+// The LRU scheme uses an unpartitioned cache; everything else uses the
+// configured partitioned array.
+type Scheme struct {
+	// Name labels the scheme in tables ("LRU", "UCP", ...).
+	Name string
+	// NewPolicy builds a fresh policy instance per run (policies are stateful).
+	NewPolicy func() policy.Policy
+	// Unpartitioned switches the LLC to ModeLRU for this scheme.
+	Unpartitioned bool
+}
+
+// StandardSchemes returns the five schemes of Figures 9-11: LRU, UCP, OnOff,
+// StaticLC and Ubik with the paper's default 5% slack.
+func StandardSchemes() []Scheme {
+	return []Scheme{
+		{Name: "LRU", NewPolicy: func() policy.Policy { return policy.NewLRU() }, Unpartitioned: true},
+		{Name: "UCP", NewPolicy: func() policy.Policy { return policy.NewUCP() }},
+		{Name: "OnOff", NewPolicy: func() policy.Policy { return policy.NewOnOff() }},
+		{Name: "StaticLC", NewPolicy: func() policy.Policy { return policy.NewStaticLC() }},
+		{Name: "Ubik", NewPolicy: func() policy.Policy { return core.NewUbikWithSlack(0.05) }},
+	}
+}
+
+// UbikSlackSchemes returns the Figure 12 slack sweep (0%, 1%, 5%, 10%).
+func UbikSlackSchemes() []Scheme {
+	var out []Scheme
+	for _, slack := range []float64{0, 0.01, 0.05, 0.10} {
+		slack := slack
+		out = append(out, Scheme{
+			Name:      fmt.Sprintf("Ubik slack=%g%%", slack*100),
+			NewPolicy: func() policy.Policy { return core.NewUbikWithSlack(slack) },
+		})
+	}
+	return out
+}
+
+// instanceSeed returns the deterministic seed used for instance i of a
+// latency-critical configuration, shared between the mix run and the matching
+// isolation baseline so their request streams are identical.
+func instanceSeed(scaleSeed uint64, lc mix.LCConfig, instance int) uint64 {
+	h := uint64(1469598103934665603)
+	for _, b := range []byte(lc.Name()) {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return workload.SplitSeed(scaleSeed^h, uint64(instance)+1)
+}
+
+// Baselines caches the isolation measurements every comparison needs: per
+// LC-configuration service-time calibration, pooled isolated tail latencies on
+// matched seeds, and per batch application isolated IPCs.
+type Baselines struct {
+	cfg   sim.Config
+	scale Scale
+
+	mu       sync.Mutex
+	lc       map[string]sim.LCBaseline
+	lcPooled map[string]*stats.Sample
+	batchIPC map[string]float64
+}
+
+// NewBaselines returns an empty baseline cache for the given machine
+// configuration and scale.
+func NewBaselines(cfg sim.Config, scale Scale) *Baselines {
+	return &Baselines{
+		cfg:      cfg,
+		scale:    scale,
+		lc:       make(map[string]sim.LCBaseline),
+		lcPooled: make(map[string]*stats.Sample),
+		batchIPC: make(map[string]float64),
+	}
+}
+
+// LC returns (computing on first use) the calibration baseline for an LC
+// configuration: mean service time, arrival rate for its load, and its
+// isolated tail latency (the deadline).
+func (b *Baselines) LC(lc mix.LCConfig) (sim.LCBaseline, error) {
+	key := lc.Name()
+	b.mu.Lock()
+	if base, ok := b.lc[key]; ok {
+		b.mu.Unlock()
+		return base, nil
+	}
+	b.mu.Unlock()
+	base, err := sim.MeasureLCBaseline(b.cfg, lc.App, lc.App.TargetLines(), lc.Level.Value(), b.scale.requestFactor())
+	if err != nil {
+		return sim.LCBaseline{}, err
+	}
+	b.mu.Lock()
+	b.lc[key] = base
+	b.mu.Unlock()
+	return base, nil
+}
+
+// PooledIsolatedTail returns the pooled isolated tail latency across the
+// configuration's instances, run with exactly the seeds the mix instances use.
+func (b *Baselines) PooledIsolatedTail(lc mix.LCConfig, percentile float64) (float64, error) {
+	key := lc.Name()
+	b.mu.Lock()
+	if s, ok := b.lcPooled[key]; ok {
+		b.mu.Unlock()
+		return tailOf(s, percentile)
+	}
+	b.mu.Unlock()
+	base, err := b.LC(lc)
+	if err != nil {
+		return 0, err
+	}
+	pooled := stats.NewSample(256)
+	for i := 0; i < lc.Instances; i++ {
+		res, err := sim.RunIsolatedLC(b.cfg, lc.App, lc.App.TargetLines(), base.MeanInterarrival,
+			b.scale.requestFactor(), instanceSeed(b.scale.Seed, lc, i))
+		if err != nil {
+			return 0, err
+		}
+		lcRes := res.LCResults()
+		if len(lcRes) != 1 {
+			return 0, fmt.Errorf("experiment: isolation run returned %d LC results", len(lcRes))
+		}
+		pooled.AddAll(lcRes[0].Latencies.Values())
+	}
+	b.mu.Lock()
+	b.lcPooled[key] = pooled
+	b.mu.Unlock()
+	return tailOf(pooled, percentile)
+}
+
+func tailOf(s *stats.Sample, percentile float64) (float64, error) {
+	v, err := s.TailMean(percentile)
+	if err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// BatchIPC returns (computing on first use) the isolated IPC of a batch
+// application on a private target-sized LLC.
+func (b *Baselines) BatchIPC(p workload.BatchProfile) (float64, error) {
+	b.mu.Lock()
+	if ipc, ok := b.batchIPC[p.Name]; ok {
+		b.mu.Unlock()
+		return ipc, nil
+	}
+	b.mu.Unlock()
+	ipc, err := sim.MeasureBatchBaselineIPC(b.cfg, p, sim.LinesFor2MB, b.scale.BatchROI)
+	if err != nil {
+		return 0, err
+	}
+	b.mu.Lock()
+	b.batchIPC[p.Name] = ipc
+	b.mu.Unlock()
+	return ipc, nil
+}
+
+// MixRecord is the outcome of running one mix under one scheme.
+type MixRecord struct {
+	// Mix identifies the workload mix.
+	Mix mix.Mix
+	// Scheme is the management scheme's name.
+	Scheme string
+	// TailDegradation is the pooled LC tail latency normalised to the pooled
+	// isolated tail (1.0 = no degradation).
+	TailDegradation float64
+	// WeightedSpeedup is the batch weighted speedup vs private LLCs.
+	WeightedSpeedup float64
+	// PooledTailCycles is the raw pooled tail latency.
+	PooledTailCycles float64
+	// BaselineTailCycles is the pooled isolated tail latency.
+	BaselineTailCycles float64
+}
+
+// RunMixScheme runs one mix under one scheme and computes its record.
+func RunMixScheme(cfg sim.Config, scale Scale, baselines *Baselines, m mix.Mix, scheme Scheme) (MixRecord, error) {
+	base, err := baselines.LC(m.LC)
+	if err != nil {
+		return MixRecord{}, err
+	}
+	baseTail, err := baselines.PooledIsolatedTail(m.LC, cfg.TailPercentile)
+	if err != nil {
+		return MixRecord{}, err
+	}
+	var batchBaselines []float64
+	for _, p := range m.Batch.Apps {
+		ipc, err := baselines.BatchIPC(p)
+		if err != nil {
+			return MixRecord{}, err
+		}
+		batchBaselines = append(batchBaselines, ipc)
+	}
+
+	runCfg := cfg
+	if scheme.Unpartitioned {
+		runCfg.LLC.Mode = cache.ModeLRU
+	}
+	var specs []sim.AppSpec
+	for i := 0; i < m.LC.Instances; i++ {
+		app := m.LC.App
+		specs = append(specs, sim.AppSpec{
+			LC:               &app,
+			Load:             m.LC.Level.Value(),
+			MeanInterarrival: base.MeanInterarrival,
+			DeadlineCycles:   uint64(base.TailLatency),
+			RequestFactor:    scale.requestFactor(),
+			Seed:             instanceSeed(scale.Seed, m.LC, i),
+		})
+	}
+	for i := range m.Batch.Apps {
+		p := m.Batch.Apps[i]
+		specs = append(specs, sim.AppSpec{Batch: &p, ROIInstructions: scale.BatchROI})
+	}
+	res, err := sim.RunMix(runCfg, specs, scheme.NewPolicy())
+	if err != nil {
+		return MixRecord{}, err
+	}
+	ws, err := res.WeightedSpeedup(batchBaselines)
+	if err != nil {
+		return MixRecord{}, err
+	}
+	pooled := res.PooledLCTail(cfg.TailPercentile)
+	rec := MixRecord{
+		Mix:                m,
+		Scheme:             scheme.Name,
+		PooledTailCycles:   pooled,
+		BaselineTailCycles: baseTail,
+		WeightedSpeedup:    ws,
+	}
+	if baseTail > 0 {
+		rec.TailDegradation = pooled / baseTail
+	}
+	return rec, nil
+}
+
+// Sweep runs every mix under every scheme, in parallel across mixes, and
+// returns all records.
+func Sweep(cfg sim.Config, scale Scale, baselines *Baselines, mixes []mix.Mix, schemes []Scheme) ([]MixRecord, error) {
+	type job struct {
+		m mix.Mix
+		s Scheme
+	}
+	var jobs []job
+	for _, m := range mixes {
+		for _, s := range schemes {
+			jobs = append(jobs, job{m: m, s: s})
+		}
+	}
+	// Warm the baseline caches serially to avoid duplicated work across
+	// workers racing on the same key.
+	for _, m := range mixes {
+		if _, err := baselines.LC(m.LC); err != nil {
+			return nil, err
+		}
+		if _, err := baselines.PooledIsolatedTail(m.LC, cfg.TailPercentile); err != nil {
+			return nil, err
+		}
+		for _, p := range m.Batch.Apps {
+			if _, err := baselines.BatchIPC(p); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	records := make([]MixRecord, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, scale.parallelism())
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			records[i], errs[i] = RunMixScheme(cfg, scale, baselines, j.m, j.s)
+		}(i, j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return records, nil
+}
+
+// MixesFor builds the (possibly sampled) mix list for the given scale.
+func MixesFor(scale Scale) ([]mix.Mix, error) {
+	lcs := mix.LCConfigs(3)
+	batches, err := mix.BatchMixes(2, scale.Seed)
+	if err != nil {
+		return nil, err
+	}
+	all := mix.Matrix(lcs, batches)
+	perLC := scale.MixesPerLC
+	if perLC <= 0 || perLC >= len(batches) {
+		return all, nil
+	}
+	return mix.Sample(all, perLC*len(lcs), scale.Seed), nil
+}
+
+// filterRecords returns the records matching the scheme and predicate.
+func filterRecords(records []MixRecord, scheme string, keep func(MixRecord) bool) []MixRecord {
+	var out []MixRecord
+	for _, r := range records {
+		if r.Scheme != scheme {
+			continue
+		}
+		if keep != nil && !keep(r) {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// sortedValues extracts and sorts a metric from records.
+func sortedValues(records []MixRecord, metric func(MixRecord) float64, descending bool) []float64 {
+	out := make([]float64, 0, len(records))
+	for _, r := range records {
+		out = append(out, metric(r))
+	}
+	sort.Float64s(out)
+	if descending {
+		for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+			out[i], out[j] = out[j], out[i]
+		}
+	}
+	return out
+}
+
+// mean averages a metric over records.
+func mean(records []MixRecord, metric func(MixRecord) float64) float64 {
+	if len(records) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range records {
+		sum += metric(r)
+	}
+	return sum / float64(len(records))
+}
+
+// maxOf returns the maximum of a metric over records.
+func maxOf(records []MixRecord, metric func(MixRecord) float64) float64 {
+	max := 0.0
+	for _, r := range records {
+		if v := metric(r); v > max {
+			max = v
+		}
+	}
+	return max
+}

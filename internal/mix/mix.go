@@ -1,0 +1,195 @@
+// Package mix constructs the workload mixes of the paper's evaluation
+// (Section 6): each six-application mix pairs three instances of one
+// latency-critical application (at a low or high load) with a three-
+// application batch mix drawn from the SPEC CPU2006 class combinations
+// (nnn, nnf, nft, ...). Ten latency-critical configurations (5 apps x 2 loads)
+// times forty batch mixes give the full 400-mix matrix; a sampled subset is
+// used by default so the experiment suite stays fast.
+package mix
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/workload"
+)
+
+// LoadLevel identifies the latency-critical operating point.
+type LoadLevel string
+
+// The two load levels evaluated in the paper.
+const (
+	LowLoad  LoadLevel = "low"  // 20% offered load
+	HighLoad LoadLevel = "high" // 60% offered load
+)
+
+// Value returns the offered load fraction.
+func (l LoadLevel) Value() float64 {
+	if l == HighLoad {
+		return 0.6
+	}
+	return 0.2
+}
+
+// LCConfig is one latency-critical configuration: an application at a load
+// level, run as three instances.
+type LCConfig struct {
+	// App is the latency-critical application.
+	App workload.LCProfile
+	// Level is the load level (low = 20%, high = 60%).
+	Level LoadLevel
+	// Instances is the number of copies in the mix (3 in the paper).
+	Instances int
+}
+
+// Name returns e.g. "specjbb/low".
+func (c LCConfig) Name() string { return fmt.Sprintf("%s/%s", c.App.Name, c.Level) }
+
+// BatchMix is a three-application batch mix with its class signature.
+type BatchMix struct {
+	// Signature is the class combination, e.g. "nft".
+	Signature string
+	// Apps are the batch applications.
+	Apps []workload.BatchProfile
+}
+
+// Name returns e.g. "nft-0(mcf,gcc,povray)".
+func (b BatchMix) Name() string {
+	names := make([]string, len(b.Apps))
+	for i, a := range b.Apps {
+		names[i] = a.Name
+	}
+	return fmt.Sprintf("%s(%v)", b.Signature, names)
+}
+
+// Mix is one six-application mix.
+type Mix struct {
+	// ID is the mix's index within its sweep.
+	ID int
+	// LC is the latency-critical configuration.
+	LC LCConfig
+	// Batch is the batch mix.
+	Batch BatchMix
+}
+
+// Name returns a human-readable mix identifier.
+func (m Mix) Name() string { return fmt.Sprintf("%s+%s", m.LC.Name(), m.Batch.Signature) }
+
+// LCConfigs returns the paper's ten latency-critical configurations
+// (5 applications x {low, high} load), each with the given instance count.
+func LCConfigs(instances int) []LCConfig {
+	if instances <= 0 {
+		instances = 3
+	}
+	var out []LCConfig
+	for _, level := range []LoadLevel{LowLoad, HighLoad} {
+		for _, p := range workload.AllLCProfiles() {
+			out = append(out, LCConfig{App: p, Level: level, Instances: instances})
+		}
+	}
+	return out
+}
+
+// ClassCombinations returns the 20 unordered combinations (with repetition) of
+// the four batch classes taken three at a time, in a stable order
+// (nnn, nnf, nnt, nns, nff, ...).
+func ClassCombinations() []string {
+	classes := workload.AllBatchClasses()
+	var out []string
+	for i := 0; i < len(classes); i++ {
+		for j := i; j < len(classes); j++ {
+			for k := j; k < len(classes); k++ {
+				out = append(out, classes[i].String()+classes[j].String()+classes[k].String())
+			}
+		}
+	}
+	return out
+}
+
+// BatchMixes builds the paper's batch-mix set: mixesPerCombination random
+// mixes for each of the 20 class combinations (2 in the paper, giving 40
+// mixes). Selection is deterministic in the seed.
+func BatchMixes(mixesPerCombination int, seed uint64) ([]BatchMix, error) {
+	if mixesPerCombination <= 0 {
+		mixesPerCombination = 2
+	}
+	combos := ClassCombinations()
+	rng := workload.NewRand(workload.SplitSeed(seed, 0x313))
+	var out []BatchMix
+	for _, combo := range combos {
+		for m := 0; m < mixesPerCombination; m++ {
+			var apps []workload.BatchProfile
+			for i := 0; i < len(combo); i++ {
+				class, err := workload.ParseBatchClass(string(combo[i]))
+				if err != nil {
+					return nil, err
+				}
+				candidates := workload.BatchByClass(class)
+				if len(candidates) == 0 {
+					return nil, fmt.Errorf("mix: no batch profiles in class %q", class)
+				}
+				name := candidates[rng.Intn(len(candidates))]
+				p, err := workload.BatchByName(name)
+				if err != nil {
+					return nil, err
+				}
+				apps = append(apps, p)
+			}
+			out = append(out, BatchMix{Signature: combo, Apps: apps})
+		}
+	}
+	return out, nil
+}
+
+// Matrix builds the cross product of latency-critical configurations and batch
+// mixes — the full 400-mix matrix when given the paper's parameters.
+func Matrix(lcs []LCConfig, batches []BatchMix) []Mix {
+	var out []Mix
+	id := 0
+	for _, lc := range lcs {
+		for _, b := range batches {
+			out = append(out, Mix{ID: id, LC: lc, Batch: b})
+			id++
+		}
+	}
+	return out
+}
+
+// Sample returns a deterministic subset of roughly n mixes spread evenly over
+// the matrix (keeping every latency-critical configuration represented). If n
+// is zero or exceeds the matrix size, the full matrix is returned.
+func Sample(all []Mix, n int, seed uint64) []Mix {
+	if n <= 0 || n >= len(all) {
+		return all
+	}
+	// Group by LC configuration so each keeps a proportional share.
+	groups := map[string][]Mix{}
+	var order []string
+	for _, m := range all {
+		key := m.LC.Name()
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], m)
+	}
+	sort.Strings(order)
+	perGroup := n / len(order)
+	if perGroup < 1 {
+		perGroup = 1
+	}
+	rng := workload.NewRand(workload.SplitSeed(seed, 0x5A11))
+	var out []Mix
+	for _, key := range order {
+		g := groups[key]
+		idx := rng.Perm(len(g))
+		take := perGroup
+		if take > len(g) {
+			take = len(g)
+		}
+		for i := 0; i < take; i++ {
+			out = append(out, g[idx[i]])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

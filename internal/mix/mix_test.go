@@ -1,0 +1,152 @@
+package mix
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestLoadLevels(t *testing.T) {
+	if LowLoad.Value() != 0.2 || HighLoad.Value() != 0.6 {
+		t.Errorf("load level values wrong")
+	}
+}
+
+func TestLCConfigs(t *testing.T) {
+	cfgs := LCConfigs(3)
+	if len(cfgs) != 10 {
+		t.Fatalf("expected 10 LC configurations (5 apps x 2 loads), got %d", len(cfgs))
+	}
+	seen := map[string]bool{}
+	for _, c := range cfgs {
+		if c.Instances != 3 {
+			t.Errorf("instances should be 3")
+		}
+		if seen[c.Name()] {
+			t.Errorf("duplicate config %s", c.Name())
+		}
+		seen[c.Name()] = true
+	}
+	if !seen["specjbb/low"] || !seen["xapian/high"] {
+		t.Errorf("expected specific configs, got %v", seen)
+	}
+	// Zero instances clamps to 3.
+	if LCConfigs(0)[0].Instances != 3 {
+		t.Errorf("zero instances should default to 3")
+	}
+}
+
+func TestClassCombinations(t *testing.T) {
+	combos := ClassCombinations()
+	if len(combos) != 20 {
+		t.Fatalf("expected 20 class combinations, got %d", len(combos))
+	}
+	seen := map[string]bool{}
+	for _, c := range combos {
+		if len(c) != 3 {
+			t.Errorf("combination %q should have 3 classes", c)
+		}
+		if seen[c] {
+			t.Errorf("duplicate combination %q", c)
+		}
+		seen[c] = true
+	}
+	if !seen["nnn"] || !seen["sss"] || !seen["nft"] {
+		t.Errorf("expected canonical combinations to be present")
+	}
+}
+
+func TestBatchMixes(t *testing.T) {
+	mixes, err := BatchMixes(2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mixes) != 40 {
+		t.Fatalf("expected 40 batch mixes (20 combos x 2), got %d", len(mixes))
+	}
+	for _, m := range mixes {
+		if len(m.Apps) != 3 {
+			t.Errorf("mix %s should have 3 apps", m.Name())
+		}
+		for i, a := range m.Apps {
+			class, err := workload.ParseBatchClass(string(m.Signature[i]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Class != class {
+				t.Errorf("mix %s: app %s has class %v, want %v", m.Name(), a.Name, a.Class, class)
+			}
+		}
+		if m.Name() == "" {
+			t.Errorf("mix name empty")
+		}
+	}
+	// Deterministic in the seed.
+	again, _ := BatchMixes(2, 42)
+	for i := range mixes {
+		if mixes[i].Apps[0].Name != again[i].Apps[0].Name {
+			t.Errorf("batch mixes should be deterministic for a fixed seed")
+		}
+	}
+	different, _ := BatchMixes(2, 43)
+	same := true
+	for i := range mixes {
+		if mixes[i].Apps[0].Name != different[i].Apps[0].Name {
+			same = false
+		}
+	}
+	if same {
+		t.Errorf("different seeds should give different mixes")
+	}
+	// Default mixes-per-combination.
+	def, _ := BatchMixes(0, 1)
+	if len(def) != 40 {
+		t.Errorf("default mixes per combination should be 2")
+	}
+}
+
+func TestMatrixAndSample(t *testing.T) {
+	lcs := LCConfigs(3)
+	batches, err := BatchMixes(2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := Matrix(lcs, batches)
+	if len(all) != 400 {
+		t.Fatalf("expected the full 400-mix matrix, got %d", len(all))
+	}
+	ids := map[int]bool{}
+	for _, m := range all {
+		if ids[m.ID] {
+			t.Errorf("duplicate mix ID %d", m.ID)
+		}
+		ids[m.ID] = true
+	}
+
+	sampled := Sample(all, 40, 3)
+	if len(sampled) < 10 || len(sampled) > 40 {
+		t.Fatalf("sample size %d out of expected range", len(sampled))
+	}
+	// Every LC configuration should stay represented.
+	groups := map[string]int{}
+	for _, m := range sampled {
+		groups[m.LC.Name()]++
+	}
+	if len(groups) != 10 {
+		t.Errorf("sample should cover all 10 LC configurations, covered %d", len(groups))
+	}
+	// Sampling is deterministic.
+	again := Sample(all, 40, 3)
+	for i := range sampled {
+		if sampled[i].ID != again[i].ID {
+			t.Errorf("sampling should be deterministic")
+		}
+	}
+	// Degenerate cases.
+	if len(Sample(all, 0, 1)) != 400 {
+		t.Errorf("n=0 should return everything")
+	}
+	if len(Sample(all, 10_000, 1)) != 400 {
+		t.Errorf("huge n should return everything")
+	}
+}

@@ -1,0 +1,215 @@
+package monitor
+
+import "fmt"
+
+// UMON is a utility monitor in the style of Qureshi & Patt's UCP (MICRO 2006),
+// as used by the paper: a set-sampled shadow tag directory that measures, for
+// each application, the miss curve it would see under LRU at every possible
+// allocation of the modelled cache.
+//
+// The monitor models a cache of ModelLines lines organised as Ways-way LRU
+// sets, but only keeps tags for SampleSets of those sets (chosen by address
+// hash), so its storage is tiny. Hits are recorded per LRU stack position;
+// the miss curve at an allocation of k ways is then
+//
+//	misses(k) = accesses - sum_{i<k} hits[i]
+//
+// scaled from the sampled stream to the full stream.
+//
+// Ubik extends the UMON with snapshots: the de-boosting logic compares the
+// misses a request actually suffered against the misses the UMON says it
+// would have suffered at the target allocation (Section 5.1.1).
+type UMON struct {
+	modelLines uint64
+	ways       int
+	sampleSets int
+	totalSets  uint64
+
+	// tags[set][way] in LRU order: position 0 is MRU.
+	tags  [][]umonTag
+	state UMONSnapshot
+}
+
+type umonTag struct {
+	valid bool
+	addr  uint64
+}
+
+// UMONSnapshot captures the monitor's counters at a point in time, so that
+// windowed statistics (per reconfiguration interval, per request) can be
+// computed by subtraction.
+type UMONSnapshot struct {
+	// TotalAccesses is the number of accesses presented to the monitor
+	// (sampled or not).
+	TotalAccesses uint64
+	// SampledAccesses is the number of accesses that fell in sampled sets.
+	SampledAccesses uint64
+	// SampledMisses is the number of sampled accesses that missed in the
+	// shadow directory.
+	SampledMisses uint64
+	// HitsAtWay[i] counts sampled hits at LRU stack position i.
+	HitsAtWay []uint64
+}
+
+func (s UMONSnapshot) clone() UMONSnapshot {
+	c := s
+	c.HitsAtWay = make([]uint64, len(s.HitsAtWay))
+	copy(c.HitsAtWay, s.HitsAtWay)
+	return c
+}
+
+// NewUMON builds a utility monitor modelling a cache of modelLines lines with
+// the given associativity, keeping tags for sampleSets sets.
+func NewUMON(modelLines uint64, ways, sampleSets int) (*UMON, error) {
+	if modelLines == 0 || ways <= 0 || sampleSets <= 0 {
+		return nil, fmt.Errorf("monitor: UMON needs positive modelLines, ways and sampleSets")
+	}
+	totalSets := modelLines / uint64(ways)
+	if totalSets == 0 {
+		totalSets = 1
+	}
+	if uint64(sampleSets) > totalSets {
+		sampleSets = int(totalSets)
+	}
+	u := &UMON{
+		modelLines: modelLines,
+		ways:       ways,
+		sampleSets: sampleSets,
+		totalSets:  totalSets,
+		tags:       make([][]umonTag, sampleSets),
+	}
+	for i := range u.tags {
+		u.tags[i] = make([]umonTag, ways)
+	}
+	u.state.HitsAtWay = make([]uint64, ways)
+	return u, nil
+}
+
+// Ways returns the monitor's associativity (the number of raw curve points).
+func (u *UMON) Ways() int { return u.ways }
+
+// ModelLines returns the allocation corresponding to the full monitored cache.
+func (u *UMON) ModelLines() uint64 { return u.modelLines }
+
+// SamplingRatio returns the fraction of sets (and hence accesses) sampled.
+func (u *UMON) SamplingRatio() float64 {
+	return float64(u.sampleSets) / float64(u.totalSets)
+}
+
+// hashAddr mixes the line address for set selection.
+func umonHash(addr uint64) uint64 {
+	x := addr
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 29
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 32
+	return x
+}
+
+// Access presents one LLC access to the monitor.
+func (u *UMON) Access(addr uint64) {
+	u.state.TotalAccesses++
+	set := umonHash(addr) % u.totalSets
+	if set >= uint64(u.sampleSets) {
+		return
+	}
+	u.state.SampledAccesses++
+	tags := u.tags[set]
+	// Search the LRU stack.
+	for pos := 0; pos < u.ways; pos++ {
+		if tags[pos].valid && tags[pos].addr == addr {
+			u.state.HitsAtWay[pos]++
+			// Move to MRU.
+			hit := tags[pos]
+			copy(tags[1:pos+1], tags[0:pos])
+			tags[0] = hit
+			return
+		}
+	}
+	// Miss: insert at MRU, evicting the LRU tag.
+	u.state.SampledMisses++
+	copy(tags[1:], tags[0:u.ways-1])
+	tags[0] = umonTag{valid: true, addr: addr}
+}
+
+// Snapshot returns a copy of the monitor's counters.
+func (u *UMON) Snapshot() UMONSnapshot { return u.state.clone() }
+
+// ResetCounters clears the counters but keeps the shadow tags warm (matching
+// the paper's observation that UMON tags are not flushed when an application
+// goes idle).
+func (u *UMON) ResetCounters() {
+	u.state.TotalAccesses = 0
+	u.state.SampledAccesses = 0
+	u.state.SampledMisses = 0
+	for i := range u.state.HitsAtWay {
+		u.state.HitsAtWay[i] = 0
+	}
+}
+
+// delta returns counters accumulated since the given snapshot.
+func (u *UMON) delta(since UMONSnapshot) UMONSnapshot {
+	d := UMONSnapshot{
+		TotalAccesses:   u.state.TotalAccesses - since.TotalAccesses,
+		SampledAccesses: u.state.SampledAccesses - since.SampledAccesses,
+		SampledMisses:   u.state.SampledMisses - since.SampledMisses,
+		HitsAtWay:       make([]uint64, u.ways),
+	}
+	for i := range d.HitsAtWay {
+		d.HitsAtWay[i] = u.state.HitsAtWay[i] - since.HitsAtWay[i]
+	}
+	return d
+}
+
+// MissCurve returns the miss curve accumulated since the given snapshot,
+// scaled to the full (unsampled) access stream. Pass a zero-valued snapshot to
+// get the curve since construction or the last ResetCounters. The returned
+// curve has ways+1 points; callers typically Interpolate it to 256 points.
+func (u *UMON) MissCurve(since UMONSnapshot) MissCurve {
+	d := u.deltaOrAll(since)
+	curve := MissCurve{
+		TotalLines: u.modelLines,
+		Misses:     make([]float64, u.ways+1),
+	}
+	scale := 1.0
+	if d.SampledAccesses > 0 {
+		scale = float64(d.TotalAccesses) / float64(d.SampledAccesses)
+	}
+	curve.Accesses = float64(d.TotalAccesses)
+	// With 0 lines every access misses.
+	curve.Misses[0] = float64(d.TotalAccesses)
+	cumHits := uint64(0)
+	for w := 0; w < u.ways; w++ {
+		cumHits += d.HitsAtWay[w]
+		missesSampled := float64(d.SampledAccesses) - float64(cumHits)
+		if missesSampled < 0 {
+			missesSampled = 0
+		}
+		curve.Misses[w+1] = missesSampled * scale
+	}
+	return curve
+}
+
+func (u *UMON) deltaOrAll(since UMONSnapshot) UMONSnapshot {
+	if since.HitsAtWay == nil {
+		return u.state.clone()
+	}
+	return u.delta(since)
+}
+
+// MissesAtSizeSince estimates how many misses the application would have
+// incurred since the snapshot had it run with an allocation of the given
+// number of lines. This is the quantity Ubik's accurate de-boosting hardware
+// compares against the actual miss count.
+func (u *UMON) MissesAtSizeSince(since UMONSnapshot, lines uint64) float64 {
+	return u.MissCurve(since).At(lines)
+}
+
+// AccessesSince returns the total accesses presented since the snapshot.
+func (u *UMON) AccessesSince(since UMONSnapshot) uint64 {
+	if since.HitsAtWay == nil {
+		return u.state.TotalAccesses
+	}
+	return u.state.TotalAccesses - since.TotalAccesses
+}

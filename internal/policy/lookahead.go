@@ -1,0 +1,139 @@
+package policy
+
+import "repro/internal/monitor"
+
+// WeightedCurve couples an application's miss curve with the cost of each of
+// its misses, so the allocator can minimise expected miss *cycles* rather than
+// raw misses. The paper's UCP baseline is "enhanced with MLP information":
+// Weight is the application's measured per-miss penalty M.
+type WeightedCurve struct {
+	// Curve is the application's miss curve over the allocation range.
+	Curve monitor.MissCurve
+	// Weight converts misses into cost (typically cycles per miss).
+	Weight float64
+	// Min is the minimum allocation (in lines) this application must receive.
+	Min uint64
+	// Max caps the allocation (0 means no cap).
+	Max uint64
+}
+
+// CostAt returns the weighted cost at an allocation of the given lines.
+func (w WeightedCurve) CostAt(lines uint64) float64 {
+	weight := w.Weight
+	if weight <= 0 {
+		weight = 1
+	}
+	return w.Curve.At(lines) * weight
+}
+
+// Lookahead runs UCP's Lookahead allocation algorithm (Qureshi & Patt):
+// starting from each application's minimum allocation, it repeatedly grants
+// the chunk of space with the highest marginal utility (cost reduction per
+// line) until the budget is exhausted. Allocations are granted in multiples of
+// bucketLines; any remainder left over when no application has positive
+// marginal utility is spread round-robin, so the whole budget is always
+// assigned.
+//
+// The returned slice has one allocation (in lines) per input curve and always
+// sums to at most budgetLines; it sums to exactly budgetLines when the budget
+// is a multiple of bucketLines and the minimums fit.
+func Lookahead(curves []WeightedCurve, budgetLines, bucketLines uint64) []uint64 {
+	n := len(curves)
+	alloc := make([]uint64, n)
+	if n == 0 || budgetLines == 0 {
+		return alloc
+	}
+	if bucketLines == 0 {
+		bucketLines = 1
+	}
+
+	// Grant minimum allocations first.
+	var used uint64
+	for i, c := range curves {
+		min := c.Min
+		if min > budgetLines-used {
+			min = budgetLines - used
+		}
+		alloc[i] = min
+		used += min
+	}
+	if used >= budgetLines {
+		return alloc
+	}
+	remainingBuckets := (budgetLines - used) / bucketLines
+
+	maxFor := func(i int) uint64 {
+		if curves[i].Max == 0 {
+			return budgetLines
+		}
+		return curves[i].Max
+	}
+
+	for remainingBuckets > 0 {
+		bestApp, bestChunk := -1, uint64(0)
+		bestMU := 0.0
+		for i := range curves {
+			cur := alloc[i]
+			if cur >= maxFor(i) {
+				continue
+			}
+			base := curves[i].CostAt(cur)
+			// Scan all feasible chunk sizes for this app's best marginal
+			// utility (cost reduction per line).
+			maxChunks := remainingBuckets
+			if cap := (maxFor(i) - cur) / bucketLines; cap < maxChunks {
+				maxChunks = cap
+			}
+			for k := uint64(1); k <= maxChunks; k++ {
+				lines := k * bucketLines
+				mu := (base - curves[i].CostAt(cur+lines)) / float64(lines)
+				if mu > bestMU {
+					bestMU = mu
+					bestApp = i
+					bestChunk = k
+				}
+			}
+		}
+		if bestApp < 0 {
+			break // nobody benefits from more space
+		}
+		alloc[bestApp] += bestChunk * bucketLines
+		remainingBuckets -= bestChunk
+	}
+
+	// Spread any leftover space round-robin (it has no measured utility, but
+	// leaving capacity unassigned would just waste it).
+	for i := 0; remainingBuckets > 0 && n > 0; i = (i + 1) % n {
+		if alloc[i]+bucketLines <= maxFor(i) || maxFor(i) >= budgetLines {
+			alloc[i] += bucketLines
+			remainingBuckets--
+		} else if i == n-1 {
+			// Everyone is capped; give up.
+			break
+		}
+	}
+	return alloc
+}
+
+// MarginalHits returns the extra hits an application would gain from
+// additional lines on top of a base allocation, according to its miss curve.
+func MarginalHits(curve monitor.MissCurve, baseLines, extraLines uint64) float64 {
+	gain := curve.At(baseLines) - curve.At(baseLines+extraLines)
+	if gain < 0 {
+		return 0
+	}
+	return gain
+}
+
+// MarginalMisses returns the extra misses an application would suffer from
+// losing lines below a base allocation.
+func MarginalMisses(curve monitor.MissCurve, baseLines, lostLines uint64) float64 {
+	if lostLines > baseLines {
+		lostLines = baseLines
+	}
+	loss := curve.At(baseLines-lostLines) - curve.At(baseLines)
+	if loss < 0 {
+		return 0
+	}
+	return loss
+}

@@ -1,0 +1,19 @@
+package policy
+
+// LRU is the unpartitioned baseline: the cache is shared freely and the
+// replacement policy (LRU on the underlying array) decides who holds space.
+// The policy itself never issues resizes; the simulator pairs it with a cache
+// built in ModeLRU.
+type LRU struct {
+	Base
+}
+
+// NewLRU returns the unpartitioned LRU policy.
+func NewLRU() *LRU { return &LRU{} }
+
+// Name implements Policy.
+func (*LRU) Name() string { return "LRU" }
+
+// Reconfigure implements Policy. It returns no resizes: with an unpartitioned
+// array there is nothing to manage.
+func (*LRU) Reconfigure(View) []Resize { return nil }

@@ -1,0 +1,147 @@
+// Package policytest provides a scriptable implementation of policy.View for
+// unit-testing partitioning policies without running the full simulator.
+package policytest
+
+import (
+	"repro/internal/monitor"
+	"repro/internal/policy"
+)
+
+// AppState describes one application's observable state in a FakeView.
+type AppState struct {
+	// LatencyCritical marks the app as latency-critical.
+	LatencyCritical bool
+	// ActiveNow reports whether the app currently has work.
+	ActiveNow bool
+	// Curve is the miss curve the app's UMON reports.
+	Curve monitor.MissCurve
+	// MissPenaltyCycles is the MLP profiler's M.
+	MissPenaltyCycles float64
+	// CyclesPerAccess is the measured c.
+	CyclesPerAccess float64
+	// Target is the current partition target.
+	Target uint64
+	// Occupancy is the partition's current size.
+	Occupancy uint64
+	// LCTarget is the configured latency-critical target allocation.
+	LCTarget uint64
+	// Deadline is the latency-critical deadline in cycles.
+	Deadline uint64
+	// Idle is the fraction of the last interval spent idle.
+	Idle float64
+	// Misses is the cumulative actual miss count.
+	Misses uint64
+	// UMONSnap is the snapshot returned by UMONSnapshot.
+	UMONSnap monitor.UMONSnapshot
+	// UMONMissesAt maps allocation sizes to estimated misses since an
+	// arbitrary snapshot; the fake returns UMONMissesAtFn if set, otherwise it
+	// evaluates Curve at the size.
+	UMONMissesAtFn func(lines uint64) float64
+}
+
+// FakeView is a scriptable policy.View.
+type FakeView struct {
+	// Apps holds per-application state.
+	Apps []AppState
+	// Lines is the total LLC capacity.
+	Lines uint64
+	// Interval is the reconfiguration interval in cycles.
+	Interval uint64
+	// Clock is the current time.
+	Clock uint64
+}
+
+var _ policy.View = (*FakeView)(nil)
+
+// NumApps implements policy.View.
+func (f *FakeView) NumApps() int { return len(f.Apps) }
+
+// TotalLines implements policy.View.
+func (f *FakeView) TotalLines() uint64 { return f.Lines }
+
+// IsLatencyCritical implements policy.View.
+func (f *FakeView) IsLatencyCritical(app int) bool { return f.Apps[app].LatencyCritical }
+
+// Active implements policy.View.
+func (f *FakeView) Active(app int) bool { return f.Apps[app].ActiveNow }
+
+// MissCurve implements policy.View.
+func (f *FakeView) MissCurve(app int) monitor.MissCurve { return f.Apps[app].Curve }
+
+// MissPenalty implements policy.View.
+func (f *FakeView) MissPenalty(app int) float64 { return f.Apps[app].MissPenaltyCycles }
+
+// CyclesPerAccessHit implements policy.View.
+func (f *FakeView) CyclesPerAccessHit(app int) float64 { return f.Apps[app].CyclesPerAccess }
+
+// CurrentTarget implements policy.View.
+func (f *FakeView) CurrentTarget(app int) uint64 { return f.Apps[app].Target }
+
+// PartitionOccupancy implements policy.View.
+func (f *FakeView) PartitionOccupancy(app int) uint64 { return f.Apps[app].Occupancy }
+
+// LCTargetLines implements policy.View.
+func (f *FakeView) LCTargetLines(app int) uint64 { return f.Apps[app].LCTarget }
+
+// DeadlineCycles implements policy.View.
+func (f *FakeView) DeadlineCycles(app int) uint64 { return f.Apps[app].Deadline }
+
+// IdleFraction implements policy.View.
+func (f *FakeView) IdleFraction(app int) float64 { return f.Apps[app].Idle }
+
+// PartitionMisses implements policy.View.
+func (f *FakeView) PartitionMisses(app int) uint64 { return f.Apps[app].Misses }
+
+// UMONSnapshot implements policy.View.
+func (f *FakeView) UMONSnapshot(app int) monitor.UMONSnapshot { return f.Apps[app].UMONSnap }
+
+// UMONMissesAtSince implements policy.View.
+func (f *FakeView) UMONMissesAtSince(app int, _ monitor.UMONSnapshot, lines uint64) float64 {
+	if fn := f.Apps[app].UMONMissesAtFn; fn != nil {
+		return fn(lines)
+	}
+	return f.Apps[app].Curve.At(lines)
+}
+
+// IntervalCycles implements policy.View.
+func (f *FakeView) IntervalCycles() uint64 {
+	if f.Interval == 0 {
+		return 1_000_000
+	}
+	return f.Interval
+}
+
+// Now implements policy.View.
+func (f *FakeView) Now() uint64 { return f.Clock }
+
+// Apply mutates the fake's targets according to a policy's resizes, so tests
+// can chain policy calls the way the simulator would.
+func (f *FakeView) Apply(resizes []policy.Resize) {
+	for _, r := range resizes {
+		if r.App >= 0 && r.App < len(f.Apps) {
+			f.Apps[r.App].Target = r.Target
+		}
+	}
+}
+
+// LinearCurve builds a miss curve that falls linearly from misses at zero
+// allocation to floor at the given footprint and stays flat beyond it.
+func LinearCurve(totalLines, footprint uint64, misses, floor, accesses float64) monitor.MissCurve {
+	points := 65
+	c := monitor.MissCurve{TotalLines: totalLines, Accesses: accesses, Misses: make([]float64, points)}
+	for i := 0; i < points; i++ {
+		lines := float64(i) / float64(points-1) * float64(totalLines)
+		if footprint == 0 || lines >= float64(footprint) {
+			c.Misses[i] = floor
+			continue
+		}
+		frac := lines / float64(footprint)
+		c.Misses[i] = misses - (misses-floor)*frac
+	}
+	return c
+}
+
+// FlatCurve builds a miss curve that is constant at the given miss count.
+func FlatCurve(totalLines uint64, misses, accesses float64) monitor.MissCurve {
+	return monitor.FlatCurve(totalLines, 65, misses, accesses)
+}

@@ -1,0 +1,64 @@
+package policy
+
+// StaticLC is the "safe but inefficient" policy from Section 4: every
+// latency-critical application permanently holds its full target allocation
+// (so its tail latency can never be hurt by sharing), and only the remaining
+// space is adaptively partitioned among batch applications with UCP's
+// Lookahead algorithm.
+type StaticLC struct {
+	Base
+	// Buckets is the allocation granularity for the batch Lookahead.
+	Buckets uint64
+}
+
+// NewStaticLC returns a StaticLC policy with the default 256-bucket
+// granularity.
+func NewStaticLC() *StaticLC { return &StaticLC{Buckets: 256} }
+
+// Name implements Policy.
+func (*StaticLC) Name() string { return "StaticLC" }
+
+// Reconfigure implements Policy.
+func (p *StaticLC) Reconfigure(v View) []Resize {
+	n := v.NumApps()
+	if n == 0 {
+		return nil
+	}
+	buckets := p.Buckets
+	if buckets == 0 {
+		buckets = 256
+	}
+	out := make([]Resize, 0, n)
+
+	// Latency-critical apps get their fixed targets.
+	var lcLines uint64
+	batchApps := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if v.IsLatencyCritical(i) {
+			target := v.LCTargetLines(i)
+			lcLines += target
+			out = append(out, Resize{App: i, Target: target})
+		} else {
+			batchApps = append(batchApps, i)
+		}
+	}
+
+	// Batch apps share the rest via Lookahead.
+	budget := uint64(0)
+	if total := v.TotalLines(); total > lcLines {
+		budget = total - lcLines
+	}
+	bucketLines := v.TotalLines() / buckets
+	if bucketLines == 0 {
+		bucketLines = 1
+	}
+	curves := make([]WeightedCurve, len(batchApps))
+	for j, app := range batchApps {
+		curves[j] = WeightedCurve{Curve: v.MissCurve(app), Weight: v.MissPenalty(app)}
+	}
+	alloc := Lookahead(curves, budget, bucketLines)
+	for j, app := range batchApps {
+		out = append(out, Resize{App: app, Target: alloc[j]})
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package policy
+
+// UCP is utility-based cache partitioning (Qureshi & Patt, MICRO 2006)
+// enhanced with MLP information, the conventional adaptive policy the paper
+// uses as its main baseline: every reconfiguration interval it reads all
+// applications' miss curves, weighs them by the measured per-miss penalty, and
+// uses the Lookahead algorithm to find the partition sizes that minimise total
+// expected miss cycles.
+//
+// UCP has no notion of latency-critical applications: it happily shrinks an
+// idle latency-critical partition because low utilization looks like low
+// utility, which is exactly the failure mode Section 4 of the paper describes.
+type UCP struct {
+	Base
+	// Buckets is the allocation granularity (the cache is divided into this
+	// many equal buckets for the Lookahead search).
+	Buckets uint64
+}
+
+// NewUCP returns a UCP policy with the default 256-bucket granularity.
+func NewUCP() *UCP { return &UCP{Buckets: 256} }
+
+// Name implements Policy.
+func (*UCP) Name() string { return "UCP" }
+
+// Reconfigure implements Policy.
+func (p *UCP) Reconfigure(v View) []Resize {
+	n := v.NumApps()
+	if n == 0 {
+		return nil
+	}
+	buckets := p.Buckets
+	if buckets == 0 {
+		buckets = 256
+	}
+	bucketLines := v.TotalLines() / buckets
+	if bucketLines == 0 {
+		bucketLines = 1
+	}
+	curves := make([]WeightedCurve, n)
+	for i := 0; i < n; i++ {
+		curves[i] = WeightedCurve{
+			Curve:  v.MissCurve(i),
+			Weight: v.MissPenalty(i),
+		}
+	}
+	alloc := Lookahead(curves, v.TotalLines(), bucketLines)
+	out := make([]Resize, n)
+	for i := 0; i < n; i++ {
+		out[i] = Resize{App: i, Target: alloc[i]}
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRequestTimings(t *testing.T) {
+	r := Request{ArrivalCycle: 100, StartCycle: 150, CompletionCycle: 400}
+	if r.Latency() != 300 {
+		t.Errorf("Latency = %d, want 300", r.Latency())
+	}
+	if r.ServiceTime() != 250 {
+		t.Errorf("ServiceTime = %d, want 250", r.ServiceTime())
+	}
+	if r.QueueDelay() != 50 {
+		t.Errorf("QueueDelay = %d, want 50", r.QueueDelay())
+	}
+	// Degenerate orderings clamp to zero rather than underflowing.
+	weird := Request{ArrivalCycle: 500, StartCycle: 400, CompletionCycle: 300}
+	if weird.Latency() != 0 || weird.ServiceTime() != 0 || weird.QueueDelay() != 0 {
+		t.Errorf("inverted timestamps should clamp to 0")
+	}
+}
+
+func TestFIFOOrdering(t *testing.T) {
+	var q FIFO
+	if !q.Empty() || q.Len() != 0 {
+		t.Errorf("new queue should be empty")
+	}
+	if q.Pop() != nil || q.Peek() != nil {
+		t.Errorf("pop/peek on empty queue should return nil")
+	}
+	for i := uint64(0); i < 5; i++ {
+		q.Push(&Request{ID: i})
+	}
+	if q.Len() != 5 || q.Empty() {
+		t.Errorf("queue length wrong")
+	}
+	if q.Peek().ID != 0 {
+		t.Errorf("peek should return the oldest request")
+	}
+	for i := uint64(0); i < 5; i++ {
+		r := q.Pop()
+		if r == nil || r.ID != i {
+			t.Fatalf("FIFO order violated at %d", i)
+		}
+	}
+	if !q.Empty() {
+		t.Errorf("queue should be empty after popping everything")
+	}
+}
+
+func TestFIFOInterleavedPushPop(t *testing.T) {
+	var q FIFO
+	next := uint64(0)
+	expect := uint64(0)
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 3; i++ {
+			q.Push(&Request{ID: next})
+			next++
+		}
+		for i := 0; i < 2; i++ {
+			r := q.Pop()
+			if r.ID != expect {
+				t.Fatalf("FIFO order violated: got %d want %d", r.ID, expect)
+			}
+			expect++
+		}
+	}
+	if q.Len() != 100 {
+		t.Errorf("queue should hold the 100 leftover requests, has %d", q.Len())
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	rec := NewRecorder(10)
+	// Two measured requests with latencies 100 and 300, one warmup.
+	rec.Record(&Request{ArrivalCycle: 0, StartCycle: 10, CompletionCycle: 100})
+	rec.Record(&Request{ArrivalCycle: 0, StartCycle: 0, CompletionCycle: 300})
+	rec.Record(&Request{ArrivalCycle: 0, StartCycle: 0, CompletionCycle: 999, Warmup: true})
+	if rec.Completed() != 2 {
+		t.Errorf("Completed = %d, want 2", rec.Completed())
+	}
+	if rec.Warmups() != 1 {
+		t.Errorf("Warmups = %d, want 1", rec.Warmups())
+	}
+	if math.Abs(rec.MeanLatency()-200) > 1e-9 {
+		t.Errorf("MeanLatency = %v, want 200", rec.MeanLatency())
+	}
+	if math.Abs(rec.MeanServiceTime()-195) > 1e-9 {
+		t.Errorf("MeanServiceTime = %v, want 195", rec.MeanServiceTime())
+	}
+	// The tail over two points is the larger one.
+	if math.Abs(rec.TailLatency(95)-300) > 1e-9 {
+		t.Errorf("TailLatency = %v, want 300", rec.TailLatency(95))
+	}
+	if rec.Latencies().Len() != 2 || rec.ServiceTimes().Len() != 2 || rec.QueueDelays().Len() != 2 {
+		t.Errorf("samples should hold only measured requests")
+	}
+}
+
+func TestRecorderEmpty(t *testing.T) {
+	rec := NewRecorder(0)
+	if rec.TailLatency(95) != 0 {
+		t.Errorf("tail latency of empty recorder should be 0")
+	}
+	if rec.MeanLatency() != 0 || rec.MeanServiceTime() != 0 {
+		t.Errorf("means of empty recorder should be 0")
+	}
+}
+
+func TestTailAtLeastMean(t *testing.T) {
+	rec := NewRecorder(100)
+	for i := 0; i < 100; i++ {
+		rec.Record(&Request{ArrivalCycle: 0, StartCycle: 0, CompletionCycle: uint64(100 + i*7)})
+	}
+	if rec.TailLatency(95) < rec.MeanLatency() {
+		t.Errorf("tail latency (%v) should be at least the mean (%v)", rec.TailLatency(95), rec.MeanLatency())
+	}
+}

@@ -1,0 +1,214 @@
+// Package sim implements the chip-multiprocessor simulator the reproduction
+// runs its experiments on: six cores sharing a partitioned last-level cache,
+// latency-critical applications serving open-loop request streams, batch
+// applications executing continuously, per-core utility monitors and MLP
+// profilers, and a policy runtime invoked on periodic reconfigurations and
+// idle/active events — the Figure 3 system of the paper, at line-address
+// granularity with analytic core timing.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/workload"
+)
+
+// Config describes the simulated machine (the scaled-down analogue of the
+// paper's Table 2 system).
+type Config struct {
+	// LLC is the shared last-level cache configuration.
+	LLC cache.ArrayConfig
+	// Core is the core-timing model (OOO by default).
+	Core cpu.Model
+	// ReconfigIntervalCycles is how often the policy's Reconfigure runs (the
+	// paper uses 50 ms; the scaled default is 2M cycles).
+	ReconfigIntervalCycles uint64
+	// LCCheckAccessInterval is how many LLC accesses a latency-critical app
+	// performs between OnLCCheck calls (emulating the de-boost circuit's
+	// continuous comparison).
+	LCCheckAccessInterval uint64
+	// CoalesceDelayCycles models interrupt coalescing: a fixed delay added to
+	// every request arrival (Section 3.2).
+	CoalesceDelayCycles uint64
+	// TailPercentile is the percentile used for tail-latency metrics (95).
+	TailPercentile float64
+	// UMONWays and UMONSampleSets size the per-core utility monitors.
+	UMONWays       int
+	UMONSampleSets int
+	// MissCurvePoints is the interpolation resolution handed to policies.
+	MissCurvePoints int
+	// Seed drives all run randomness (arrival times, address streams).
+	Seed uint64
+	// MaxCycles aborts runaway simulations (0 = no limit).
+	MaxCycles uint64
+}
+
+// LinesFor2MB is the scaled line count standing in for a 2 MB LLC bank.
+const LinesFor2MB = 2 * workload.LinesPerMB
+
+// DefaultConfig returns the scaled Table 2 system: a 6-bank Vantage zcache LLC
+// ("12 MB"), OOO cores, 95th-percentile tails.
+func DefaultConfig() Config {
+	return Config{
+		LLC:                    cache.DefaultZ452(6*LinesFor2MB, 6),
+		Core:                   cpu.DefaultModel(cpu.OutOfOrder),
+		ReconfigIntervalCycles: 2_000_000,
+		LCCheckAccessInterval:  32,
+		CoalesceDelayCycles:    2_000,
+		TailPercentile:         95,
+		UMONWays:               32,
+		UMONSampleSets:         64,
+		MissCurvePoints:        256,
+		Seed:                   1,
+	}
+}
+
+// Validate reports configuration problems.
+func (c Config) Validate() error {
+	if err := c.LLC.Validate(); err != nil {
+		return err
+	}
+	if err := c.Core.Validate(); err != nil {
+		return err
+	}
+	if c.ReconfigIntervalCycles == 0 {
+		return fmt.Errorf("sim: reconfiguration interval must be positive")
+	}
+	if c.TailPercentile <= 0 || c.TailPercentile >= 100 {
+		return fmt.Errorf("sim: tail percentile must be in (0,100), got %v", c.TailPercentile)
+	}
+	if c.UMONWays <= 0 || c.UMONSampleSets <= 0 {
+		return fmt.Errorf("sim: UMON dimensions must be positive")
+	}
+	if c.MissCurvePoints < 2 {
+		return fmt.Errorf("sim: miss curve needs at least 2 points")
+	}
+	if c.LCCheckAccessInterval == 0 {
+		return fmt.Errorf("sim: LC check interval must be positive")
+	}
+	return nil
+}
+
+// AppSpec describes one application slot in a mix. Exactly one of LC and Batch
+// must be set.
+type AppSpec struct {
+	// LC is the latency-critical profile for this slot (nil for batch slots).
+	LC *workload.LCProfile
+	// Batch is the batch profile for this slot (nil for latency-critical
+	// slots).
+	Batch *workload.BatchProfile
+
+	// Load is the offered load for a latency-critical app (fraction of the
+	// isolated service rate, e.g. 0.2 or 0.6). Ignored if MeanInterarrival is
+	// set explicitly.
+	Load float64
+	// MeanInterarrival overrides the arrival rate directly (cycles).
+	MeanInterarrival float64
+	// TargetLines is the latency-critical target allocation; 0 means the
+	// profile's default.
+	TargetLines uint64
+	// DeadlineCycles is the latency-critical deadline (its isolated tail
+	// latency); policies receive it through the View. 0 means "unknown", which
+	// makes Ubik behave like StaticLC for that app.
+	DeadlineCycles uint64
+	// RequestFactor scales the profile's request count (1.0 = profile value).
+	RequestFactor float64
+	// ROIInstructions overrides the batch region of interest (0 = profile
+	// value).
+	ROIInstructions uint64
+	// Seed gives the slot its own random streams; 0 derives one from the
+	// run seed and the slot index.
+	Seed uint64
+}
+
+// IsLC reports whether the slot holds a latency-critical application.
+func (s AppSpec) IsLC() bool { return s.LC != nil }
+
+// Name returns the profile name for the slot.
+func (s AppSpec) Name() string {
+	if s.LC != nil {
+		return s.LC.Name
+	}
+	if s.Batch != nil {
+		return s.Batch.Name
+	}
+	return "empty"
+}
+
+// Validate reports specification problems.
+func (s AppSpec) Validate() error {
+	if (s.LC == nil) == (s.Batch == nil) {
+		return fmt.Errorf("sim: app spec must set exactly one of LC and Batch")
+	}
+	if s.LC != nil {
+		if err := s.LC.Validate(); err != nil {
+			return err
+		}
+		if s.MeanInterarrival == 0 && (s.Load <= 0 || s.Load >= 1) {
+			return fmt.Errorf("sim: latency-critical app %q needs a load in (0,1) or an explicit interarrival", s.LC.Name)
+		}
+	}
+	if s.Batch != nil {
+		if err := s.Batch.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// targetLines resolves the latency-critical target allocation.
+func (s AppSpec) targetLines() uint64 {
+	if !s.IsLC() {
+		return 0
+	}
+	if s.TargetLines > 0 {
+		return s.TargetLines
+	}
+	return s.LC.TargetLines()
+}
+
+// requestCount resolves the number of measured requests for a latency-critical
+// slot.
+func (s AppSpec) requestCount() int {
+	if !s.IsLC() {
+		return 0
+	}
+	f := s.RequestFactor
+	if f <= 0 {
+		f = 1
+	}
+	n := int(float64(s.LC.Requests) * f)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// warmupCount resolves the number of warmup requests.
+func (s AppSpec) warmupCount() int {
+	if !s.IsLC() {
+		return 0
+	}
+	f := s.RequestFactor
+	if f <= 0 {
+		f = 1
+	}
+	n := int(float64(s.LC.WarmupRequests) * f)
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// roiInstructions resolves the batch region of interest.
+func (s AppSpec) roiInstructions() uint64 {
+	if !s.IsLC() {
+		if s.ROIInstructions > 0 {
+			return s.ROIInstructions
+		}
+		return s.Batch.ROIInstructions
+	}
+	return 0
+}

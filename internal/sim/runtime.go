@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/monitor"
+	"repro/internal/queueing"
+	"repro/internal/workload"
+)
+
+// appRuntime holds the per-application state of a running simulation: its
+// address stream, timing parameters, local clock, monitoring hardware, and —
+// for latency-critical apps — its request queue and latency recorder.
+type appRuntime struct {
+	idx  int
+	spec AppSpec
+
+	lcApp    *workload.LCApp
+	batchApp *workload.BatchApp
+	stream   *workload.Stream
+
+	// Timing parameters.
+	apki           float64
+	baseCPI        float64
+	mlpFactor      float64
+	instrPerAccess uint64 // batch instructions per access
+
+	// Local clock and counters.
+	clock    uint64
+	counters cpu.PerfCounters
+
+	// Monitoring hardware.
+	umon  *monitor.UMON
+	mlp   *monitor.MLPProfiler
+	reuse *monitor.ReuseProfiler
+
+	// Reconfiguration-window snapshots.
+	umonAtReconfig     monitor.UMONSnapshot
+	countersAtReconfig cpu.PerfCounters
+	idleInInterval     uint64
+
+	// Measurement-window snapshots (set at the end of the warmup interval).
+	measuring         bool
+	countersAtMeasure cpu.PerfCounters
+	measureStartCycle uint64
+
+	// Latency-critical serving state.
+	queue              queueing.FIFO
+	current            *queueing.Request
+	accessesLeft       uint64
+	reqInstrPerAccess  uint64
+	generated          int
+	toGenerate         int
+	warmupRequests     int
+	completed          int
+	nextArrivalRaw     uint64
+	nextArrivalVisible uint64
+	arrivals           workload.ArrivalProcess
+	recorder           *queueing.Recorder
+	active             bool
+	accessesSinceCheck uint64
+
+	// Batch region of interest.
+	roiInstructions uint64
+
+	// done marks an app that has no further work to simulate.
+	done bool
+}
+
+// newAppRuntime builds the runtime state for one application slot.
+func newAppRuntime(idx int, spec AppSpec, cfg Config) (*appRuntime, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = workload.SplitSeed(cfg.Seed, uint64(idx)+101)
+	}
+	a := &appRuntime{idx: idx, spec: spec}
+	modelLines := cfg.LLC.Lines
+	umon, err := monitor.NewUMON(modelLines, cfg.UMONWays, cfg.UMONSampleSets)
+	if err != nil {
+		return nil, err
+	}
+	a.umon = umon
+	a.mlp = monitor.NewMLPProfiler(0.999)
+
+	if spec.IsLC() {
+		lc, err := workload.NewLCApp(*spec.LC, idx, seed)
+		if err != nil {
+			return nil, err
+		}
+		a.lcApp = lc
+		a.stream = lc.Stream()
+		a.apki = spec.LC.APKI
+		a.baseCPI = spec.LC.BaseCPI
+		a.mlpFactor = spec.LC.MLP
+		a.reuse = monitor.NewReuseProfiler(monitor.DefaultReuseMaxAge)
+		a.toGenerate = spec.requestCount() + spec.warmupCount()
+		a.warmupRequests = spec.warmupCount()
+		a.recorder = queueing.NewRecorder(spec.requestCount())
+		interarrival := spec.MeanInterarrival
+		if interarrival <= 0 {
+			return nil, fmt.Errorf("sim: app %q has no mean interarrival; calibrate the load first", spec.Name())
+		}
+		arr, err := workload.NewPoissonArrivals(interarrival, workload.SplitSeed(seed, 7))
+		if err != nil {
+			return nil, err
+		}
+		a.arrivals = arr
+		a.nextArrivalRaw = arr.Next(0)
+		a.nextArrivalVisible = a.nextArrivalRaw + cfg.CoalesceDelayCycles
+	} else {
+		b, err := workload.NewBatchApp(*spec.Batch, idx, seed)
+		if err != nil {
+			return nil, err
+		}
+		a.batchApp = b
+		a.stream = b.Stream()
+		a.apki = spec.Batch.APKI
+		a.baseCPI = spec.Batch.BaseCPI
+		a.mlpFactor = spec.Batch.MLP
+		a.roiInstructions = spec.roiInstructions()
+	}
+	ipa := 1000 / a.apki
+	if ipa < 1 {
+		ipa = 1
+	}
+	a.instrPerAccess = uint64(ipa + 0.5)
+	return a, nil
+}
+
+// isLC reports whether the slot is latency-critical.
+func (a *appRuntime) isLC() bool { return a.lcApp != nil }
+
+// hasWork reports whether a latency-critical app currently has a request in
+// service or waiting.
+func (a *appRuntime) hasWork() bool { return a.current != nil || !a.queue.Empty() }
+
+// enqueueArrivals materialises every request whose (coalesced) arrival time is
+// at or before now.
+func (a *appRuntime) enqueueArrivals(now uint64, coalesce uint64) {
+	for a.generated < a.toGenerate && a.nextArrivalVisible <= now {
+		demand := a.lcApp.NextServiceDemand()
+		req := &queueing.Request{
+			ID:            uint64(a.generated),
+			ArrivalCycle:  a.nextArrivalRaw,
+			ServiceDemand: demand,
+			Warmup:        a.generated < a.warmupRequests,
+		}
+		a.queue.Push(req)
+		a.generated++
+		a.nextArrivalRaw = a.arrivals.Next(a.nextArrivalRaw)
+		a.nextArrivalVisible = a.nextArrivalRaw + coalesce
+	}
+}
+
+// startNextRequest pops the next queued request and prepares its access budget.
+func (a *appRuntime) startNextRequest() {
+	req := a.queue.Pop()
+	req.StartCycle = a.clock
+	a.current = req
+	a.stream.BeginRequest()
+	accesses := uint64(float64(req.ServiceDemand)*a.apki/1000 + 0.5)
+	if accesses < 1 {
+		accesses = 1
+	}
+	a.accessesLeft = accesses
+	ipa := req.ServiceDemand / accesses
+	if ipa < 1 {
+		ipa = 1
+	}
+	a.reqInstrPerAccess = ipa
+}
+
+// finishedAllRequests reports whether the app has generated and completed all
+// its requests.
+func (a *appRuntime) finishedAllRequests() bool {
+	return a.generated >= a.toGenerate && !a.hasWork()
+}
+
+// instructionsDone returns the instructions retired so far.
+func (a *appRuntime) instructionsDone() uint64 { return a.counters.Instructions }
+
+// startMeasurement snapshots counters at the start of the measured window.
+func (a *appRuntime) startMeasurement() {
+	if a.measuring {
+		return
+	}
+	a.measuring = true
+	a.countersAtMeasure = a.counters
+	a.measureStartCycle = a.clock
+}
+
+// measuredIPC returns instructions per cycle over the measured window.
+func (a *appRuntime) measuredIPC() float64 {
+	c := a.counters.Sub(a.countersAtMeasure)
+	if !a.measuring || a.clock <= a.measureStartCycle {
+		return a.counters.IPC()
+	}
+	return float64(c.Instructions) / float64(a.clock-a.measureStartCycle)
+}
+
+// measuredMissRate returns the LLC miss rate over the measured window.
+func (a *appRuntime) measuredMissRate() float64 {
+	if !a.measuring {
+		return a.counters.MissRate()
+	}
+	return a.counters.Sub(a.countersAtMeasure).MissRate()
+}

@@ -1,0 +1,377 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/policy"
+)
+
+// partID maps an application slot to its cache partition.
+func partID(app int) cache.PartitionID { return cache.PartitionID(app) }
+
+// Simulator runs one workload mix under one management policy on the
+// configured CMP.
+type Simulator struct {
+	cfg    Config
+	apps   []*appRuntime
+	llc    cache.Cache
+	policy policy.Policy
+	view   *simView
+
+	nextReconfig     uint64
+	reconfigurations uint64
+	targetSamples    []float64
+	targetSampleN    uint64
+	measureArmed     bool
+}
+
+// New builds a simulator for the given configuration, application slots and
+// policy. The LLC is created with one partition per slot.
+func New(cfg Config, specs []AppSpec, pol policy.Policy) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("sim: need at least one application")
+	}
+	if pol == nil {
+		return nil, fmt.Errorf("sim: need a policy")
+	}
+	llcCfg := cfg.LLC
+	llcCfg.Partitions = len(specs)
+	llc, err := cache.New(llcCfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		cfg:           cfg,
+		llc:           llc,
+		policy:        pol,
+		nextReconfig:  cfg.ReconfigIntervalCycles,
+		targetSamples: make([]float64, len(specs)),
+	}
+	s.cfg.LLC = llcCfg
+	for i, spec := range specs {
+		a, err := newAppRuntime(i, spec, cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.apps = append(s.apps, a)
+	}
+	s.view = &simView{s: s}
+	s.setInitialTargets()
+	return s, nil
+}
+
+// setInitialTargets gives latency-critical apps their target allocations and
+// splits the remainder evenly among batch apps, the sane pre-profiling start
+// every policy shares.
+func (s *Simulator) setInitialTargets() {
+	total := s.cfg.LLC.Lines
+	var lcTotal uint64
+	batch := 0
+	for _, a := range s.apps {
+		if a.isLC() {
+			lcTotal += a.spec.targetLines()
+		} else {
+			batch++
+		}
+	}
+	if lcTotal > total {
+		lcTotal = total
+	}
+	perBatch := uint64(0)
+	if batch > 0 {
+		perBatch = (total - lcTotal) / uint64(batch)
+	}
+	for _, a := range s.apps {
+		if a.isLC() {
+			s.llc.SetPartitionTarget(partID(a.idx), a.spec.targetLines())
+		} else {
+			s.llc.SetPartitionTarget(partID(a.idx), perBatch)
+		}
+	}
+}
+
+// globalTime returns the time of the slowest still-running application, the
+// point up to which the whole machine has simulated.
+func (s *Simulator) globalTime() uint64 {
+	var min uint64
+	first := true
+	for _, a := range s.apps {
+		if a.done {
+			continue
+		}
+		if first || a.clock < min {
+			min = a.clock
+			first = false
+		}
+	}
+	if first {
+		// Everyone is done: report the maximum clock.
+		for _, a := range s.apps {
+			if a.clock > min {
+				min = a.clock
+			}
+		}
+	}
+	return min
+}
+
+// applyResizes applies a policy's partition retargets, clamping each target to
+// the cache capacity.
+func (s *Simulator) applyResizes(resizes []policy.Resize) {
+	for _, r := range resizes {
+		if r.App < 0 || r.App >= len(s.apps) {
+			continue
+		}
+		target := r.Target
+		if target > s.cfg.LLC.Lines {
+			target = s.cfg.LLC.Lines
+		}
+		s.llc.SetPartitionTarget(partID(r.App), target)
+	}
+}
+
+// Run simulates until every latency-critical application has completed its
+// requests (or, in a batch-only run, until every batch application has retired
+// its region of interest), and returns the per-application results.
+func (s *Simulator) Run() (Result, error) {
+	hasLC := false
+	for _, a := range s.apps {
+		if a.isLC() {
+			hasLC = true
+		}
+	}
+	for !s.finished(hasLC) {
+		a := s.nextApp()
+		if a == nil {
+			break
+		}
+		if a.isLC() {
+			s.stepLC(a)
+		} else {
+			s.stepBatch(a)
+		}
+		s.maybeReconfigure()
+		if s.cfg.MaxCycles > 0 && s.globalTime() > s.cfg.MaxCycles {
+			return Result{}, fmt.Errorf("sim: exceeded MaxCycles=%d; configuration is likely unstable (offered load too high)", s.cfg.MaxCycles)
+		}
+	}
+	return s.collect(), nil
+}
+
+// finished reports whether the run's termination condition holds.
+func (s *Simulator) finished(hasLC bool) bool {
+	for _, a := range s.apps {
+		if a.isLC() {
+			if !a.done {
+				return false
+			}
+		} else if !hasLC {
+			if a.instructionsDone() < a.roiInstructions {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// nextApp picks the not-done application with the smallest local clock.
+func (s *Simulator) nextApp() *appRuntime {
+	var best *appRuntime
+	for _, a := range s.apps {
+		if a.done {
+			continue
+		}
+		if best == nil || a.clock < best.clock {
+			best = a
+		}
+	}
+	return best
+}
+
+// stepBatch advances a batch application by one LLC access.
+func (s *Simulator) stepBatch(a *appRuntime) {
+	s.doAccess(a, 0, a.instrPerAccess)
+}
+
+// stepLC advances a latency-critical application by one event: an LLC access
+// of the in-flight request, a request completion, an idle->active transition,
+// or an idle-time jump to the next arrival.
+func (s *Simulator) stepLC(a *appRuntime) {
+	a.enqueueArrivals(a.clock, s.cfg.CoalesceDelayCycles)
+
+	if a.current != nil {
+		s.doAccess(a, a.stream.RequestID(), a.reqInstrPerAccess)
+		a.accessesLeft--
+		a.accessesSinceCheck++
+		if a.accessesSinceCheck >= s.cfg.LCCheckAccessInterval {
+			a.accessesSinceCheck = 0
+			s.applyResizes(s.policy.OnLCCheck(a.idx, s.view))
+		}
+		if a.accessesLeft == 0 {
+			s.completeRequest(a)
+		}
+		return
+	}
+
+	// No request in service.
+	if a.queue.Empty() {
+		if a.generated >= a.toGenerate {
+			a.done = true
+			return
+		}
+		// Idle: advance this app's clock to the next arrival and yield, so
+		// every other application simulates through the idle gap (and has the
+		// chance to take this app's cache space) before the arrival is served.
+		// Processing the arrival in the same step would let the request see
+		// the cache as it was when the app went idle, hiding inertia.
+		if a.nextArrivalVisible > a.clock {
+			a.idleInInterval += a.nextArrivalVisible - a.clock
+			a.clock = a.nextArrivalVisible
+			return
+		}
+		a.enqueueArrivals(a.clock, s.cfg.CoalesceDelayCycles)
+		if a.queue.Empty() {
+			return
+		}
+	}
+
+	wasIdle := !a.active
+	a.startNextRequest()
+	a.active = true
+	if wasIdle {
+		s.applyResizes(s.policy.OnActive(a.idx, s.view))
+	}
+}
+
+// completeRequest finishes the in-flight request, fires the policy hooks, and
+// either starts the next queued request or transitions to idle.
+func (s *Simulator) completeRequest(a *appRuntime) {
+	req := a.current
+	req.CompletionCycle = a.clock
+	a.recorder.Record(req)
+	a.completed++
+	a.current = nil
+	s.applyResizes(s.policy.OnRequestComplete(a.idx, req.Latency(), s.view))
+	s.applyResizes(s.policy.OnLCCheck(a.idx, s.view))
+
+	a.enqueueArrivals(a.clock, s.cfg.CoalesceDelayCycles)
+	if !a.queue.Empty() {
+		a.startNextRequest()
+		return
+	}
+	// Out of work: go idle (even if this was the last request, so the policy
+	// reclaims the space for the remainder of the run).
+	a.active = false
+	s.applyResizes(s.policy.OnIdle(a.idx, s.view))
+	if a.generated >= a.toGenerate {
+		a.done = true
+	}
+}
+
+// doAccess performs one LLC access for an application and advances its clock.
+func (s *Simulator) doAccess(a *appRuntime, meta uint64, instructions uint64) {
+	addr := a.stream.Next()
+	res := s.llc.Access(addr, partID(a.idx), meta)
+	miss := !res.Hit
+	cycles := s.cfg.Core.AccessCycles(a.baseCPI, a.apki, a.mlpFactor, miss)
+	a.counters.Add(instructions, uint64(cycles), miss)
+	a.clock += uint64(cycles)
+	a.umon.Access(addr)
+	if miss {
+		a.mlp.RecordMiss(s.cfg.Core.MissPenalty(a.mlpFactor))
+	}
+	if a.reuse != nil {
+		age := uint64(0)
+		if res.Hit && meta >= res.PrevMeta {
+			age = meta - res.PrevMeta
+		}
+		a.reuse.Record(res.Hit, age)
+	}
+}
+
+// maybeReconfigure fires the periodic policy reconfiguration when the whole
+// machine has advanced past the next interval boundary.
+func (s *Simulator) maybeReconfigure() {
+	now := s.globalTime()
+	if now < s.nextReconfig {
+		return
+	}
+	// A mostly idle machine (e.g. an isolation run at a tiny load) can jump
+	// many intervals at once; collapsing the backlog into one reconfiguration
+	// keeps the loop O(events) instead of O(idle time).
+	interval := s.cfg.ReconfigIntervalCycles
+	if behind := (now - s.nextReconfig) / interval; behind > 1 {
+		s.nextReconfig += (behind - 1) * interval
+	}
+	for now >= s.nextReconfig {
+		s.reconfigurations++
+		s.applyResizes(s.policy.Reconfigure(s.view))
+		// Take fresh window snapshots after the policy has read the old ones.
+		for _, a := range s.apps {
+			a.umonAtReconfig = a.umon.Snapshot()
+			a.countersAtReconfig = a.counters
+			a.idleInInterval = 0
+			if !s.measureArmed {
+				a.startMeasurement()
+			}
+			s.targetSamples[a.idx] += float64(s.llc.PartitionTarget(partID(a.idx)))
+		}
+		s.targetSampleN++
+		s.measureArmed = true
+		s.nextReconfig += s.cfg.ReconfigIntervalCycles
+	}
+}
+
+// collect builds the run's Result.
+func (s *Simulator) collect() Result {
+	res := Result{Policy: s.policy.Name(), Reconfigurations: s.reconfigurations}
+	var maxClock uint64
+	st := s.llc.Stats()
+	if st.Evictions > 0 {
+		res.ForcedEvictionFraction = float64(st.ForcedEvictions) / float64(st.Evictions)
+	}
+	for _, a := range s.apps {
+		if a.clock > maxClock {
+			maxClock = a.clock
+		}
+		ar := AppResult{
+			Name:            a.spec.Name(),
+			LatencyCritical: a.isLC(),
+			IPC:             a.measuredIPC(),
+			Instructions:    a.counters.Instructions,
+			MissRate:        a.measuredMissRate(),
+			APKI:            a.counters.APKI(),
+			OfferedLoad:     a.spec.Load,
+		}
+		if s.targetSampleN > 0 {
+			ar.MeanPartitionTarget = s.targetSamples[a.idx] / float64(s.targetSampleN)
+		} else {
+			ar.MeanPartitionTarget = float64(s.llc.PartitionTarget(partID(a.idx)))
+		}
+		if a.isLC() {
+			ar.MeanLatency = a.recorder.MeanLatency()
+			ar.TailLatency = a.recorder.TailLatency(s.cfg.TailPercentile)
+			ar.MeanServiceTime = a.recorder.MeanServiceTime()
+			ar.Requests = a.recorder.Completed()
+			ar.Latencies = a.recorder.Latencies()
+			ar.ServiceTimes = a.recorder.ServiceTimes()
+			ar.ReuseBreakdown = a.reuse.Breakdown()
+		}
+		res.Apps = append(res.Apps, ar)
+	}
+	res.Cycles = maxClock
+	return res
+}
+
+// RunMix is the convenience entry point: build a simulator and run it.
+func RunMix(cfg Config, specs []AppSpec, pol policy.Policy) (Result, error) {
+	s, err := New(cfg, specs, pol)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run()
+}

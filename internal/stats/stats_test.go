@@ -1,0 +1,291 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleBasics(t *testing.T) {
+	s := NewSample(4)
+	if s.Len() != 0 {
+		t.Fatalf("new sample should be empty, got %d", s.Len())
+	}
+	s.AddAll([]float64{4, 1, 3, 2})
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	if got := s.Mean(); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if got := s.Min(); got != 1 {
+		t.Errorf("Min = %v, want 1", got)
+	}
+	if got := s.Max(); got != 4 {
+		t.Errorf("Max = %v, want 4", got)
+	}
+	if got := s.Sum(); got != 10 {
+		t.Errorf("Sum = %v, want 10", got)
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Errorf("empty sample summary stats should be 0")
+	}
+	if _, err := s.Percentile(50); err != ErrEmpty {
+		t.Errorf("Percentile on empty sample: want ErrEmpty, got %v", err)
+	}
+	if _, err := s.TailMean(95); err != ErrEmpty {
+		t.Errorf("TailMean on empty sample: want ErrEmpty, got %v", err)
+	}
+	if _, err := s.CDF(10); err != ErrEmpty {
+		t.Errorf("CDF on empty sample: want ErrEmpty, got %v", err)
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	s := NewSample(5)
+	s.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	// Known example: population variance 4, sample variance 32/7.
+	want := 32.0 / 7.0
+	if got := s.Variance(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+	if got := s.StdDev(); math.Abs(got-math.Sqrt(want)) > 1e-9 {
+		t.Errorf("StdDev = %v, want %v", got, math.Sqrt(want))
+	}
+}
+
+func TestVarianceSmallSamples(t *testing.T) {
+	var s Sample
+	s.Add(3)
+	if s.Variance() != 0 {
+		t.Errorf("variance of single observation should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := NewSample(101)
+	for i := 0; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 0}, {50, 50}, {95, 95}, {100, 100}, {-5, 0}, {150, 100},
+	}
+	for _, c := range cases {
+		got, err := s.Percentile(c.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v) error: %v", c.p, err)
+		}
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	s := NewSample(2)
+	s.AddAll([]float64{0, 10})
+	got, err := s.Percentile(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-5) > 1e-9 {
+		t.Errorf("Percentile(50) of {0,10} = %v, want 5", got)
+	}
+}
+
+func TestTailMean(t *testing.T) {
+	s := NewSample(100)
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	// 95th tail mean over 1..100 = mean of 96..100 = 98.
+	got, err := s.TailMean(95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-98) > 1e-9 {
+		t.Errorf("TailMean(95) = %v, want 98", got)
+	}
+	// TailMean(0) equals the mean.
+	got0, _ := s.TailMean(0)
+	if math.Abs(got0-s.Mean()) > 1e-9 {
+		t.Errorf("TailMean(0) = %v, want mean %v", got0, s.Mean())
+	}
+}
+
+func TestTailMeanAtLeastPercentile(t *testing.T) {
+	// Property: tail mean >= the percentile it starts from, and >= overall mean.
+	f := func(raw []float64) bool {
+		if len(raw) < 10 {
+			return true
+		}
+		s := NewSample(len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			s.Add(math.Mod(math.Abs(v), 1e6))
+		}
+		tm, err := s.TailMean(95)
+		if err != nil {
+			return false
+		}
+		p, err := s.Percentile(95)
+		if err != nil {
+			return false
+		}
+		return tm >= p-1e-9 && tm >= s.Mean()-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	s := NewSample(1000)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		s.Add(r.Float64())
+	}
+	cdf, err := s.CDF(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cdf) != 11 {
+		t.Fatalf("CDF length = %d, want 11", len(cdf))
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Value < cdf[i-1].Value {
+			t.Errorf("CDF values not monotonic at %d", i)
+		}
+		if cdf[i].Fraction < cdf[i-1].Fraction {
+			t.Errorf("CDF fractions not monotonic at %d", i)
+		}
+	}
+	if cdf[len(cdf)-1].Fraction != 1 {
+		t.Errorf("CDF should end at fraction 1, got %v", cdf[len(cdf)-1].Fraction)
+	}
+}
+
+func TestConfidenceInterval(t *testing.T) {
+	s := NewSample(10000)
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		s.Add(r.NormFloat64())
+	}
+	ci := s.ConfidenceInterval(0.95)
+	// For 10k standard-normal samples, the 95% CI half-width is about 0.0196.
+	if ci < 0.01 || ci > 0.03 {
+		t.Errorf("CI = %v, want around 0.02", ci)
+	}
+	var empty Sample
+	if empty.ConfidenceInterval(0.95) != 0 {
+		t.Errorf("CI of empty sample should be 0")
+	}
+}
+
+func TestZScoreLevels(t *testing.T) {
+	if zScore(0.95) >= zScore(0.99) {
+		t.Errorf("z-scores should increase with confidence level")
+	}
+	if zScore(0.5) != 1.0 {
+		t.Errorf("default z-score should be 1.0")
+	}
+}
+
+func TestWeightedSpeedup(t *testing.T) {
+	ws, err := WeightedSpeedup([]float64{1.0, 2.0, 3.0}, []float64{1.0, 1.0, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ws-2.0) > 1e-9 {
+		t.Errorf("WeightedSpeedup = %v, want 2", ws)
+	}
+	if _, err := WeightedSpeedup(nil, nil); err == nil {
+		t.Errorf("expected error on empty input")
+	}
+	if _, err := WeightedSpeedup([]float64{1}, []float64{1, 2}); err == nil {
+		t.Errorf("expected error on mismatched lengths")
+	}
+	if _, err := WeightedSpeedup([]float64{1}, []float64{0}); err == nil {
+		t.Errorf("expected error on zero baseline")
+	}
+}
+
+func TestDegradation(t *testing.T) {
+	if got := Degradation(2, 1); got != 2 {
+		t.Errorf("Degradation(2,1) = %v, want 2", got)
+	}
+	if !math.IsInf(Degradation(1, 0), 1) {
+		t.Errorf("Degradation with zero baseline should be +Inf")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Observe(float64(i) + 0.5)
+	}
+	h.Observe(-1) // under
+	h.Observe(20) // over
+	if h.Total() != 12 {
+		t.Errorf("Total = %d, want 12", h.Total())
+	}
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Errorf("bucket %d count = %d, want 1", i, c)
+		}
+	}
+	q := h.Quantile(0.5)
+	if q < 4 || q > 7 {
+		t.Errorf("median quantile = %v, want around 5-6", q)
+	}
+	if NewHistogram(0, 1, 0) == nil {
+		t.Errorf("histogram with zero buckets should clamp, not fail")
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	if h.Quantile(0.5) != 0 {
+		t.Errorf("quantile of empty histogram should be 0")
+	}
+}
+
+func TestPercentileMonotonic(t *testing.T) {
+	// Property: percentiles are monotonically nondecreasing in p.
+	f := func(raw []float64, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := NewSample(len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			s.Add(v)
+		}
+		pa := float64(a%101) //nolint
+		pb := float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, err1 := s.Percentile(pa)
+		vb, err2 := s.Percentile(pb)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return va <= vb+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

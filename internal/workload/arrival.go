@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ArrivalProcess generates request arrival times for an open-loop latency-
+// critical server. The paper's methodology (Section 3.2) uses exponential
+// interarrival times (a Markov input process) throttled to a configurable
+// rate, plus a fixed interrupt-coalescing delay added to each arrival.
+type ArrivalProcess interface {
+	// Next returns the arrival time (in cycles) of the next request, given the
+	// previous arrival time.
+	Next(prev uint64) uint64
+}
+
+// PoissonArrivals produces exponential interarrival times with the given mean
+// (in cycles).
+type PoissonArrivals struct {
+	MeanInterarrival float64
+	rng              *rand.Rand
+}
+
+// NewPoissonArrivals returns a Poisson arrival process with the given mean
+// interarrival time in cycles.
+func NewPoissonArrivals(meanInterarrival float64, seed uint64) (*PoissonArrivals, error) {
+	if meanInterarrival <= 0 {
+		return nil, fmt.Errorf("workload: mean interarrival must be positive, got %v", meanInterarrival)
+	}
+	return &PoissonArrivals{MeanInterarrival: meanInterarrival, rng: NewRand(seed)}, nil
+}
+
+// Next implements ArrivalProcess.
+func (p *PoissonArrivals) Next(prev uint64) uint64 {
+	gap := p.rng.ExpFloat64() * p.MeanInterarrival
+	if gap < 1 {
+		gap = 1
+	}
+	return prev + uint64(gap)
+}
+
+// UniformArrivals produces deterministic, evenly spaced arrivals; useful in
+// tests and for isolating queueing effects.
+type UniformArrivals struct {
+	Interarrival uint64
+}
+
+// Next implements ArrivalProcess.
+func (u UniformArrivals) Next(prev uint64) uint64 {
+	if u.Interarrival == 0 {
+		return prev + 1
+	}
+	return prev + u.Interarrival
+}
+
+// MeanInterarrivalForLoad converts a target offered load rho (0 < rho < 1) and
+// a mean service time (cycles) into the mean interarrival time that produces
+// that load: rho = lambda/mu = meanService/meanInterarrival.
+func MeanInterarrivalForLoad(meanServiceCycles float64, load float64) (float64, error) {
+	if load <= 0 || load >= 1 {
+		return 0, fmt.Errorf("workload: load must be in (0,1), got %v", load)
+	}
+	if meanServiceCycles <= 0 {
+		return 0, fmt.Errorf("workload: mean service time must be positive, got %v", meanServiceCycles)
+	}
+	return meanServiceCycles / load, nil
+}

@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ServiceDist models the distribution of per-request service demand, measured
+// in instructions. The paper's workloads span near-constant (masstree, moses),
+// multi-modal (shore, specjbb) and long-tailed (xapian) service-time shapes
+// (Figure 1b); the implementations below cover those shapes.
+type ServiceDist interface {
+	// Sample draws one request's service demand in instructions.
+	Sample(r *rand.Rand) uint64
+	// Mean returns the expected service demand in instructions.
+	Mean() float64
+	// String describes the distribution.
+	String() string
+}
+
+// Deterministic is a constant service demand.
+type Deterministic struct {
+	Instructions uint64
+}
+
+// Sample implements ServiceDist.
+func (d Deterministic) Sample(*rand.Rand) uint64 { return d.Instructions }
+
+// Mean implements ServiceDist.
+func (d Deterministic) Mean() float64 { return float64(d.Instructions) }
+
+func (d Deterministic) String() string {
+	return fmt.Sprintf("deterministic(%d)", d.Instructions)
+}
+
+// Uniform draws uniformly in [Min, Max].
+type Uniform struct {
+	Min, Max uint64
+}
+
+// Sample implements ServiceDist.
+func (u Uniform) Sample(r *rand.Rand) uint64 {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + uint64(r.Int63n(int64(u.Max-u.Min+1)))
+}
+
+// Mean implements ServiceDist.
+func (u Uniform) Mean() float64 { return float64(u.Min+u.Max) / 2 }
+
+func (u Uniform) String() string { return fmt.Sprintf("uniform(%d,%d)", u.Min, u.Max) }
+
+// LogNormal is a long-tailed service demand with the given median (in
+// instructions) and shape sigma (in log space). Used for xapian-like query
+// cost distributions where a few queries are much more expensive than most.
+type LogNormal struct {
+	Median uint64
+	Sigma  float64
+	// Cap truncates samples to avoid pathological outliers; 0 means 20x median.
+	Cap uint64
+}
+
+// Sample implements ServiceDist.
+func (l LogNormal) Sample(r *rand.Rand) uint64 {
+	mu := math.Log(float64(l.Median))
+	v := math.Exp(mu + l.Sigma*r.NormFloat64())
+	cap := float64(l.Cap)
+	if cap == 0 {
+		cap = 20 * float64(l.Median)
+	}
+	if v > cap {
+		v = cap
+	}
+	if v < 1 {
+		v = 1
+	}
+	return uint64(v)
+}
+
+// Mean implements ServiceDist. The truncation makes the analytic lognormal
+// mean slightly optimistic; it is close enough for load calibration, which is
+// refined empirically by the simulator anyway.
+func (l LogNormal) Mean() float64 {
+	return float64(l.Median) * math.Exp(l.Sigma*l.Sigma/2)
+}
+
+func (l LogNormal) String() string {
+	return fmt.Sprintf("lognormal(median=%d, sigma=%.2f)", l.Median, l.Sigma)
+}
+
+// Mode is one component of a multi-modal service distribution.
+type Mode struct {
+	Weight float64 // relative probability of this mode
+	Dist   ServiceDist
+}
+
+// MultiModal mixes several component distributions, modelling workloads such
+// as shore-mt (TPC-C transaction types) and specjbb whose service-time CDFs
+// show distinct steps.
+type MultiModal struct {
+	Modes []Mode
+}
+
+// Sample implements ServiceDist.
+func (m MultiModal) Sample(r *rand.Rand) uint64 {
+	total := 0.0
+	for _, md := range m.Modes {
+		total += md.Weight
+	}
+	if total <= 0 || len(m.Modes) == 0 {
+		return 1
+	}
+	x := r.Float64() * total
+	for _, md := range m.Modes {
+		if x < md.Weight {
+			return md.Dist.Sample(r)
+		}
+		x -= md.Weight
+	}
+	return m.Modes[len(m.Modes)-1].Dist.Sample(r)
+}
+
+// Mean implements ServiceDist.
+func (m MultiModal) Mean() float64 {
+	total, acc := 0.0, 0.0
+	for _, md := range m.Modes {
+		total += md.Weight
+		acc += md.Weight * md.Dist.Mean()
+	}
+	if total == 0 {
+		return 0
+	}
+	return acc / total
+}
+
+func (m MultiModal) String() string { return fmt.Sprintf("multimodal(%d modes)", len(m.Modes)) }
+
+// Exponential draws exponentially-distributed service demands with the given
+// mean, the classic M/M/1 service model, used in tests and examples.
+type Exponential struct {
+	MeanInstructions float64
+}
+
+// Sample implements ServiceDist.
+func (e Exponential) Sample(r *rand.Rand) uint64 {
+	v := r.ExpFloat64() * e.MeanInstructions
+	if v < 1 {
+		v = 1
+	}
+	return uint64(v)
+}
+
+// Mean implements ServiceDist.
+func (e Exponential) Mean() float64 { return e.MeanInstructions }
+
+func (e Exponential) String() string { return fmt.Sprintf("exponential(%.0f)", e.MeanInstructions) }
+
+// Scaled wraps a distribution and multiplies every sample by Factor, used to
+// derive reduced-scale workloads from paper-scale profiles.
+type Scaled struct {
+	Base   ServiceDist
+	Factor float64
+}
+
+// Sample implements ServiceDist.
+func (s Scaled) Sample(r *rand.Rand) uint64 {
+	v := float64(s.Base.Sample(r)) * s.Factor
+	if v < 1 {
+		v = 1
+	}
+	return uint64(v)
+}
+
+// Mean implements ServiceDist.
+func (s Scaled) Mean() float64 { return s.Base.Mean() * s.Factor }
+
+func (s Scaled) String() string { return fmt.Sprintf("scaled(%.3f, %s)", s.Factor, s.Base) }
