@@ -8,7 +8,6 @@ package repro
 import (
 	"testing"
 
-	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/experiment"
@@ -22,7 +21,7 @@ import (
 // benchScale is deliberately tiny so the whole benchmark suite completes in a
 // few minutes; it preserves the experiment structure, not statistical power.
 func benchScale() experiment.Scale {
-	return experiment.Scale{RequestFactor: 0.03, MixesPerLC: 1, BatchROI: 100_000, LoadPoints: 3, Seed: 2}
+	return experiment.Scale{RequestFactor: 0.03, MixesPerLC: 1, BatchROI: 100_000, LoadPoints: 3, Seed: 2, SubMixSharding: true}
 }
 
 func benchConfig() sim.Config {
@@ -224,41 +223,8 @@ func BenchmarkAblationTransientBound(b *testing.B) {
 
 // --- Microbenchmarks of the core data structures ---------------------------
 
-// BenchmarkZCacheAccess measures the Vantage zcache access path (the hot loop
-// of every simulation).
-func BenchmarkZCacheAccess(b *testing.B) {
-	c, err := cache.NewZCache(6144, 4, 52, cache.ModeVantage, 6)
-	if err != nil {
-		b.Fatal(err)
-	}
-	for p := 0; p < 6; p++ {
-		c.SetPartitionTarget(cache.PartitionID(p), 1024)
-	}
-	rng := workload.NewRand(1)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		c.Access(uint64(rng.Intn(20000)), cache.PartitionID(i%6), 0)
-	}
-}
-
-// BenchmarkSetAssocAccess measures the way-partitioned set-associative access
-// path.
-func BenchmarkSetAssocAccess(b *testing.B) {
-	c, err := cache.NewSetAssoc(6144, 16, cache.ModeWayPartition, 6)
-	if err != nil {
-		b.Fatal(err)
-	}
-	for p := 0; p < 6; p++ {
-		c.SetPartitionTarget(cache.PartitionID(p), 1024)
-	}
-	rng := workload.NewRand(1)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		c.Access(uint64(rng.Intn(20000)), cache.PartitionID(i%6), 0)
-	}
-}
+// The cache access-path microbenchmarks (with their 0 allocs/op contract)
+// live next to the code in internal/cache/bench_test.go.
 
 // BenchmarkUMONAccess measures the sampled utility monitor.
 func BenchmarkUMONAccess(b *testing.B) {
@@ -267,10 +233,15 @@ func BenchmarkUMONAccess(b *testing.B) {
 		b.Fatal(err)
 	}
 	rng := workload.NewRand(1)
+	addrs := make([]uint64, 1<<15)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(20000))
+	}
+	mask := len(addrs) - 1
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		u.Access(uint64(rng.Intn(20000)))
+		u.Access(addrs[i&mask])
 	}
 }
 

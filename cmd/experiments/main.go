@@ -21,11 +21,13 @@ import (
 
 func main() {
 	var (
-		expList   = flag.String("exp", "all", "comma-separated experiment ids (table1,table2,fig1a,fig1b,fig2,fig9,table3,fig10,fig11,fig12,fig13,abl-deboost,abl-bound,utilization) or 'all'")
-		scaleName = flag.String("scale", "quick", "evaluation scale: quick, default, or full")
-		seed      = flag.Uint64("seed", 1, "top-level random seed")
-		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		list      = flag.Bool("list", false, "list available experiments and exit")
+		expList     = flag.String("exp", "all", "comma-separated experiment ids (table1,table2,fig1a,fig1b,fig2,fig9,table3,fig10,fig11,fig12,fig13,abl-deboost,abl-bound,utilization) or 'all'")
+		scaleName   = flag.String("scale", "quick", "evaluation scale: quick, default, or full")
+		seed        = flag.Uint64("seed", 1, "top-level random seed")
+		parallelism = flag.Int("parallelism", 0, "worker pool size for mix sweeps, load sweeps and isolation baselines (0 = GOMAXPROCS); results are identical at any setting")
+		noShard     = flag.Bool("noshard", false, "disable sub-mix sharding (load points and isolation baselines run serially)")
+		csv         = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		list        = flag.Bool("list", false, "list available experiments and exit")
 	)
 	flag.Parse()
 
@@ -52,6 +54,10 @@ func main() {
 		fatal(err)
 	}
 	scale.Seed = *seed
+	scale.Parallelism = *parallelism
+	if *noShard {
+		scale.SubMixSharding = false
+	}
 	cfg := sim.DefaultConfig()
 	cfg.Seed = *seed
 

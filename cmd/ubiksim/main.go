@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/cache"
@@ -24,16 +25,21 @@ import (
 
 func main() {
 	var (
-		lcName     = flag.String("lc", "specjbb", "latency-critical application (xapian, masstree, moses, shore, specjbb)")
-		load       = flag.Float64("load", 0.2, "offered load for the latency-critical app (0,1)")
-		instances  = flag.Int("instances", 3, "number of latency-critical instances")
-		batchList  = flag.String("batch", "mcf,libquantum,soplex", "comma-separated batch applications")
-		schemeName = flag.String("scheme", "ubik", "management scheme: lru, ucp, onoff, staticlc, ubik")
-		slack      = flag.Float64("slack", 0.05, "Ubik tail-latency slack")
-		reqFactor  = flag.Float64("requests", 0.25, "request-count scale factor")
-		seed       = flag.Uint64("seed", 1, "random seed")
+		lcName      = flag.String("lc", "specjbb", "latency-critical application (xapian, masstree, moses, shore, specjbb)")
+		load        = flag.Float64("load", 0.2, "offered load for the latency-critical app (0,1)")
+		instances   = flag.Int("instances", 3, "number of latency-critical instances")
+		batchList   = flag.String("batch", "mcf,libquantum,soplex", "comma-separated batch applications")
+		schemeName  = flag.String("scheme", "ubik", "management scheme: lru, ucp, onoff, staticlc, ubik")
+		slack       = flag.Float64("slack", 0.05, "Ubik tail-latency slack")
+		reqFactor   = flag.Float64("requests", 0.25, "request-count scale factor")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		parallelism = flag.Int("parallelism", 0, "workers for the per-instance isolation baselines (0 = GOMAXPROCS); results are identical at any setting")
 	)
 	flag.Parse()
+	workers := *parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 
 	cfg := sim.DefaultConfig()
 	cfg.Seed = *seed
@@ -71,20 +77,26 @@ func main() {
 	fmt.Printf("  isolated: mean service %.0f cycles, mean latency %.0f, 95%% tail %.0f\n",
 		base.MeanServiceCycles, base.MeanLatency, base.TailLatency)
 
-	// Pool isolated latencies on the same instance seeds used in the mix.
-	pooledBase := stats.NewSample(256)
+	// Pool isolated latencies on the same instance seeds used in the mix,
+	// sharding the per-instance isolation runs across the worker pool (the
+	// pooled sample is assembled in instance order, so the output does not
+	// depend on -parallelism).
+	seeds := make([]uint64, *instances)
 	var specs []sim.AppSpec
-	for i := 0; i < *instances; i++ {
-		instSeed := workload.SplitSeed(*seed, uint64(1000+i))
-		iso, err := sim.RunIsolatedLC(cfg, lc, lc.TargetLines(), base.MeanInterarrival, *reqFactor, instSeed)
-		if err != nil {
-			fatal(err)
-		}
-		pooledBase.AddAll(iso.LCResults()[0].Latencies.Values())
+	for i := range seeds {
+		seeds[i] = workload.SplitSeed(*seed, uint64(1000+i))
 		specs = append(specs, sim.AppSpec{
 			LC: &lc, Load: *load, MeanInterarrival: base.MeanInterarrival,
-			DeadlineCycles: uint64(base.TailLatency), RequestFactor: *reqFactor, Seed: instSeed,
+			DeadlineCycles: uint64(base.TailLatency), RequestFactor: *reqFactor, Seed: seeds[i],
 		})
+	}
+	isoRuns, err := sim.RunIsolatedLCShards(cfg, lc, lc.TargetLines(), base.MeanInterarrival, *reqFactor, seeds, workers)
+	if err != nil {
+		fatal(err)
+	}
+	pooledBase := stats.NewSample(256)
+	for _, iso := range isoRuns {
+		pooledBase.AddAll(iso.LCResults()[0].Latencies.Values())
 	}
 	baseTail, err := pooledBase.TailMean(cfg.TailPercentile)
 	if err != nil {

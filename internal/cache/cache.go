@@ -9,7 +9,10 @@
 // line, which is how the Figure 2 reuse breakdown is computed).
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // PartitionID identifies a partition. Partition 0..NumPartitions-1 are valid;
 // the unpartitioned LRU configuration simply puts every access in partition 0.
@@ -121,13 +124,16 @@ func (m ReplacementMode) String() string {
 	}
 }
 
-// line is one cache line's bookkeeping state.
+// line is one cache line's bookkeeping state. The layout is kept to 32 bytes
+// (two lines per 64-byte hardware cache line) because the zcache replacement
+// walk performs ~50 scattered line loads per miss and is bound by how many of
+// them fit in cache.
 type line struct {
-	valid   bool
 	addr    uint64
-	part    PartitionID
 	lastUse uint64
 	meta    uint64
+	part    int32
+	valid   bool
 }
 
 // partitionTable tracks per-partition targets, sizes, and statistics.
@@ -181,14 +187,25 @@ func hashAddr(addr uint64) uint64 {
 	return x
 }
 
-// hashAddrWay produces an independent hash per way, used by the zcache's
-// skew-associative indexing.
-func hashAddrWay(addr uint64, way int) uint64 {
-	x := addr + uint64(way)*0x9e3779b97f4a7c15
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
+// reduceRange maps a well-mixed 64-bit hash uniformly onto [0, n) without a
+// divide (Lemire's multiply-shift reduction). The set counts in play are
+// rarely powers of two, so a plain mask is not available, and a 64-bit modulo
+// on the access path costs more than the rest of the index computation
+// combined.
+func reduceRange(hash, n uint64) uint64 {
+	hi, _ := bits.Mul64(hash, n)
+	return hi
+}
+
+// baseHash is the shared full-strength address mix the zcache folds through
+// its per-way multipliers: one invocation serves every way of a probe.
+func baseHash(addr uint64) uint64 { return hashAddr(addr) }
+
+// splitmix64 is the standard seed mixer, used to derive per-way index
+// multipliers at construction.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }

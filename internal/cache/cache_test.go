@@ -16,10 +16,10 @@ func TestSetAssocConstruction(t *testing.T) {
 		{1024, 16, 4, true},
 		{1024, 64, 4, true},
 		{0, 16, 4, false},
-		{1000, 16, 4, false},  // 1000 not a multiple of 16 ways
-		{1024, 0, 4, false},   // no ways
-		{1024, 16, 0, false},  // no partitions
-		{1024, 4, 6, false},   // way-partition with more partitions than ways is checked below
+		{1000, 16, 4, false}, // 1000 not a multiple of 16 ways
+		{1024, 0, 4, false},  // no ways
+		{1024, 16, 0, false}, // no partitions
+		{1024, 4, 6, false},  // way-partition with more partitions than ways is checked below
 	}
 	for _, c := range cases[:6] {
 		_, err := NewSetAssoc(c.lines, c.ways, ModeLRU, c.parts)

@@ -192,27 +192,31 @@ func (c *SetAssoc) WaysOwnedBy(p PartitionID) int {
 	return n
 }
 
-// Access implements Cache.
+// Access implements Cache. This is one of the simulator's two hot paths: the
+// hit scan is a single pass with the per-partition stat row hoisted out, and
+// set indexing avoids the 64-bit modulo.
 func (c *SetAssoc) Access(addr uint64, part PartitionID, meta uint64) AccessResult {
-	if !c.parts.valid(part) {
+	if uint(part) >= uint(len(c.parts.stats)) {
 		part = 0
 	}
 	c.clock++
 	c.stats.Accesses++
-	c.parts.stats[part].Accesses++
+	ps := &c.parts.stats[part]
+	ps.Accesses++
 
-	setIdx := hashAddr(addr) % c.numSets
+	setIdx := reduceRange(hashAddr(addr), c.numSets)
 	base := setIdx * uint64(c.ways)
 	set := c.lines[base : base+uint64(c.ways)]
 
 	// Lookup.
 	for i := range set {
-		if set[i].valid && set[i].addr == addr {
+		ln := &set[i]
+		if ln.addr == addr && ln.valid {
 			c.stats.Hits++
-			c.parts.stats[part].Hits++
-			res := AccessResult{Hit: true, PrevMeta: set[i].meta}
-			set[i].lastUse = c.clock
-			set[i].meta = meta
+			ps.Hits++
+			res := AccessResult{Hit: true, PrevMeta: ln.meta}
+			ln.lastUse = c.clock
+			ln.meta = meta
 			// A hit does not change partition ownership of the line: in the
 			// workloads used here address spaces are disjoint per app, so
 			// cross-partition hits do not occur in practice.
@@ -222,26 +226,27 @@ func (c *SetAssoc) Access(addr uint64, part PartitionID, meta uint64) AccessResu
 
 	// Miss: pick a victim way.
 	c.stats.Misses++
-	c.parts.stats[part].Misses++
+	ps.Misses++
 	victim, forced := c.chooseVictim(set, part)
 	res := AccessResult{}
 	v := &set[victim]
 	if v.valid {
 		res.Evicted = true
-		res.EvictedPartition = v.part
+		res.EvictedPartition = PartitionID(v.part)
 		res.ForcedEviction = forced
 		c.stats.Evictions++
 		if forced {
 			c.stats.ForcedEvictions++
 		}
-		if c.parts.valid(v.part) {
-			c.parts.stats[v.part].Evictions++
-			if c.parts.sizes[v.part] > 0 {
-				c.parts.sizes[v.part]--
+		vp := v.part
+		if uint(vp) < uint(len(c.parts.stats)) {
+			c.parts.stats[vp].Evictions++
+			if c.parts.sizes[vp] > 0 {
+				c.parts.sizes[vp]--
 			}
 		}
 	}
-	*v = line{valid: true, addr: addr, part: part, lastUse: c.clock, meta: meta}
+	*v = line{valid: true, addr: addr, part: int32(part), lastUse: c.clock, meta: meta}
 	c.parts.sizes[part]++
 	return res
 }
@@ -280,12 +285,20 @@ func (c *SetAssoc) chooseVictim(set []line, part PartitionID) (int, bool) {
 			}
 		}
 		// Prefer the most over-quota partition; among its lines, the LRU one.
+		// Quota state is read through hoisted slices so the scan stays free of
+		// bounds checks on the partition table.
+		targets, sizes := c.parts.targets, c.parts.sizes
 		bestIdx, bestUse, bestOver := -1, uint64(0), uint64(0)
 		for w := range set {
-			over := c.parts.overQuota(set[w].part, part)
-			if over == 0 {
+			p := set[w].part
+			size := sizes[p]
+			if PartitionID(p) == part {
+				size++
+			}
+			if size <= targets[p] {
 				continue
 			}
+			over := size - targets[p]
 			if bestIdx < 0 || over > bestOver || (over == bestOver && set[w].lastUse < bestUse) {
 				bestIdx, bestUse, bestOver = w, set[w].lastUse, over
 			}
@@ -318,7 +331,7 @@ func (c *SetAssoc) lruVictim(set []line) int {
 
 // Contains reports whether addr is currently cached (used by tests).
 func (c *SetAssoc) Contains(addr uint64) bool {
-	setIdx := hashAddr(addr) % c.numSets
+	setIdx := reduceRange(hashAddr(addr), c.numSets)
 	base := setIdx * uint64(c.ways)
 	for i := 0; i < c.ways; i++ {
 		if c.lines[base+uint64(i)].valid && c.lines[base+uint64(i)].addr == addr {

@@ -12,19 +12,73 @@ import "fmt"
 // The high, pattern-independent number of replacement candidates is what lets
 // Vantage guarantee that a partition below its target allocation is
 // essentially never victimised — the property Ubik's transient analysis needs.
+//
+// The replacement walk is the simulator's hottest code (every simulated miss
+// visits ~candidates scattered slots), so the array is stored
+// structure-of-arrays with the replacement state packed into a single word
+// per slot: a walk candidate costs one 8-byte load from the info array
+// instead of a whole line struct, line addresses are loaded only for the few
+// nodes the BFS actually expands, and metadata only on hits and evictions.
+// Candidates are scored as they are appended (no separate victim-selection
+// passes), duplicate slots are rejected through a small generation-stamped
+// hash table instead of a linear scan, and slot indexing is divide-free. All
+// walk state is preallocated; an access never allocates.
 type ZCache struct {
 	numSetsPerWay uint64
 	ways          int
 	candidates    int
 	mode          ReplacementMode
-	lines         []line // ways * numSetsPerWay, way-major
+	addrs         []uint64 // slot -> cached line address (way-major)
+	info          []uint64 // slot -> lastUse<<zUseShift | part<<zPartShift | valid
+	metas         []uint64 // slot -> caller metadata
 	parts         *partitionTable
 	stats         Stats
 	clock         uint64
 
-	// walk buffers, reused across replacements to avoid per-miss allocation.
+	// Walk state, reused across replacements to keep the miss path
+	// allocation-free. seenTab is an open-addressing hash set of slot
+	// positions; a slot is "in the set" when its entry's generation stamp
+	// equals the current walk's generation, so clearing between walks is a
+	// single counter increment. Stamp and position share one entry so a probe
+	// touches a single cache line.
 	walkNodes []walkNode
-	walkSeen  []uint64
+	seenTab   []seenEntry
+	seenMask  uint64
+	gen       uint64
+	overTab   []uint64 // per-partition quota excess, rebuilt at each walk
+	wayMuls   []uint64 // per-way odd multipliers for skewed indexing
+	posBuf    []uint64 // lookup probe positions, handed to the walk as roots
+}
+
+// Packing of the per-slot info word. The access clock fits comfortably in 48
+// bits (2.8e14 accesses per cache instance); the partition count is capped at
+// construction so the id fits in its field.
+const (
+	zValidBit  = uint64(1)
+	zPartShift = 1
+	zPartMask  = uint64(0x7fff)
+	zUseShift  = 16
+	zMaxParts  = int(zPartMask)
+)
+
+// infoPart extracts the owning partition from an info word.
+func infoPart(inf uint64) PartitionID {
+	return PartitionID(inf >> zPartShift & zPartMask)
+}
+
+// seenEntry is one slot of the walk's dedup hash set.
+type seenEntry struct {
+	gen uint64
+	pos uint64
+}
+
+// walkNode is one node of the replacement-candidate BFS. pos is the slot's
+// position in the slot arrays, way the hash way that produced it, and parent
+// indexes into the walk buffer (-1 for roots).
+type walkNode struct {
+	pos    uint64
+	way    int32
+	parent int32
 }
 
 // NewZCache builds a zcache with totalLines lines, the given number of ways
@@ -41,6 +95,9 @@ func NewZCache(totalLines uint64, ways, candidates int, mode ReplacementMode, nu
 	if numPartitions <= 0 {
 		return nil, fmt.Errorf("cache: need at least one partition, got %d", numPartitions)
 	}
+	if numPartitions > zMaxParts {
+		return nil, fmt.Errorf("cache: zcache supports at most %d partitions, got %d", zMaxParts, numPartitions)
+	}
 	if mode == ModeWayPartition {
 		return nil, fmt.Errorf("cache: way-partitioning is not defined for zcaches")
 	}
@@ -48,15 +105,36 @@ func NewZCache(totalLines uint64, ways, candidates int, mode ReplacementMode, nu
 		return nil, fmt.Errorf("cache: total lines %d must be a positive multiple of ways %d", totalLines, ways)
 	}
 	setsPerWay := totalLines / uint64(ways)
+	// Size the dedup table at ≥4x the maximum number of walk entries so probe
+	// chains stay short; it lives in L1 for the default 52-candidate
+	// configuration.
+	seenSize := uint64(64)
+	for seenSize < uint64(4*(candidates+ways)) {
+		seenSize *= 2
+	}
+	// Each way indexes through its own odd multiplier applied to one shared
+	// base mix of the address: a full independent hash per way costs ~3x more
+	// on the walk, and multiply-shift families are what hardware skew caches
+	// use anyway.
+	wayMuls := make([]uint64, ways)
+	for w := range wayMuls {
+		wayMuls[w] = splitmix64(uint64(w)) | 1
+	}
 	return &ZCache{
 		numSetsPerWay: setsPerWay,
 		ways:          ways,
 		candidates:    candidates,
 		mode:          mode,
-		lines:         make([]line, totalLines),
+		addrs:         make([]uint64, totalLines),
+		info:          make([]uint64, totalLines),
+		metas:         make([]uint64, totalLines),
 		parts:         newPartitionTable(numPartitions),
 		walkNodes:     make([]walkNode, 0, candidates+ways),
-		walkSeen:      make([]uint64, 0, candidates+ways),
+		seenTab:       make([]seenEntry, seenSize),
+		seenMask:      seenSize - 1,
+		overTab:       make([]uint64, numPartitions),
+		wayMuls:       wayMuls,
+		posBuf:        make([]uint64, ways),
 	}, nil
 }
 
@@ -121,182 +199,246 @@ func (c *ZCache) SetPartitionTarget(p PartitionID, lines uint64) {
 	c.parts.targets[p] = lines
 }
 
-// slot identifies one (way, index) position in the array.
-type slot struct {
-	way int
-	idx uint64
+// slotIndex returns the position in the slot arrays of addr's slot in the
+// given way. baseHash(addr) is folded through the way's multiplier so callers
+// that probe several ways pay the full address mix only once.
+func (c *ZCache) slotIndex(addr uint64, way int) uint64 {
+	return c.slotIndexHashed(baseHash(addr), way)
 }
 
-func (c *ZCache) slotPos(s slot) uint64 { return uint64(s.way)*c.numSetsPerWay + s.idx }
-
-func (c *ZCache) slotFor(addr uint64, way int) slot {
-	return slot{way: way, idx: hashAddrWay(addr, way) % c.numSetsPerWay}
+func (c *ZCache) slotIndexHashed(h uint64, way int) uint64 {
+	return uint64(way)*c.numSetsPerWay + reduceRange(h*c.wayMuls[way], c.numSetsPerWay)
 }
 
 // Access implements Cache.
 func (c *ZCache) Access(addr uint64, part PartitionID, meta uint64) AccessResult {
-	if !c.parts.valid(part) {
+	if uint(part) >= uint(len(c.parts.stats)) {
 		part = 0
 	}
 	c.clock++
 	c.stats.Accesses++
-	c.parts.stats[part].Accesses++
+	ps := &c.parts.stats[part]
+	ps.Accesses++
+	newInfo := c.clock<<zUseShift | uint64(part)<<zPartShift | zValidBit
 
-	// Lookup: the line can only be in one of its ways' positions.
+	// Lookup: the line can only be in one of its ways' positions. The valid
+	// bit is consulted only on an address match, so the common lookup touches
+	// just the address array.
+	addrs := c.addrs
+	h := baseHash(addr)
+	posBuf := c.posBuf
 	for w := 0; w < c.ways; w++ {
-		s := c.slotFor(addr, w)
-		ln := &c.lines[c.slotPos(s)]
-		if ln.valid && ln.addr == addr {
-			c.stats.Hits++
-			c.parts.stats[part].Hits++
-			res := AccessResult{Hit: true, PrevMeta: ln.meta}
-			ln.lastUse = c.clock
-			ln.meta = meta
-			return res
+		pos := c.slotIndexHashed(h, w)
+		posBuf[w] = pos
+		if addrs[pos] == addr {
+			if inf := c.info[pos]; inf&zValidBit != 0 {
+				c.stats.Hits++
+				ps.Hits++
+				res := AccessResult{Hit: true, PrevMeta: c.metas[pos]}
+				// A hit refreshes the line's recency but must not change its
+				// partition ownership (in the workloads used here address
+				// spaces are disjoint per app, but the occupancy counters
+				// would silently diverge if a cross-partition hit relabelled
+				// the line without moving the sizes).
+				c.info[pos] = c.clock<<zUseShift | inf&(1<<zUseShift-1)
+				c.metas[pos] = meta
+				return res
+			}
 		}
 	}
 
 	// Miss: run the replacement walk.
 	c.stats.Misses++
-	c.parts.stats[part].Misses++
+	ps.Misses++
 
-	victimIdx, forced := c.replacementWalk(addr, part)
+	victimIdx, forced := c.replacementWalk(part)
+	all := c.walkNodes
 	res := AccessResult{}
-	victimSlot := c.walkNodes[victimIdx].s
-	v := &c.lines[c.slotPos(victimSlot)]
-	if v.valid {
+	vpos := all[victimIdx].pos
+	if vinf := c.info[vpos]; vinf&zValidBit != 0 {
+		vp := infoPart(vinf)
 		res.Evicted = true
-		res.EvictedPartition = v.part
+		res.EvictedPartition = vp
 		res.ForcedEviction = forced
 		c.stats.Evictions++
 		if forced {
 			c.stats.ForcedEvictions++
 		}
-		if c.parts.valid(v.part) {
-			c.parts.stats[v.part].Evictions++
-			if c.parts.sizes[v.part] > 0 {
-				c.parts.sizes[v.part]--
+		if uint(vp) < uint(len(c.parts.stats)) {
+			c.parts.stats[vp].Evictions++
+			if c.parts.sizes[vp] > 0 {
+				c.parts.sizes[vp]--
 			}
 		}
 	}
 	// Relocation chain: move each ancestor's line into its child's slot,
 	// freeing a root slot for the incoming line.
 	node := victimIdx
-	for c.walkNodes[node].parent >= 0 {
-		parent := c.walkNodes[node].parent
-		c.lines[c.slotPos(c.walkNodes[node].s)] = c.lines[c.slotPos(c.walkNodes[parent].s)]
-		node = parent
+	for all[node].parent >= 0 {
+		parent := all[node].parent
+		dst, src := all[node].pos, all[parent].pos
+		addrs[dst] = addrs[src]
+		c.info[dst] = c.info[src]
+		c.metas[dst] = c.metas[src]
+		node = int(parent)
 	}
-	c.lines[c.slotPos(c.walkNodes[node].s)] = line{valid: true, addr: addr, part: part, lastUse: c.clock, meta: meta}
+	ipos := all[node].pos
+	addrs[ipos] = addr
+	c.info[ipos] = newInfo
+	c.metas[ipos] = meta
 	c.parts.sizes[part]++
 	return res
 }
 
-// walkNode is one node of the replacement-candidate BFS. parent indexes into
-// the walk buffer (-1 for roots).
-type walkNode struct {
-	s      slot
-	parent int
-}
-
 // replacementWalk expands replacement candidates breadth-first starting from
-// the incoming address's own slots, and picks a victim according to the
-// replacement mode. It returns the chosen node's index in the walk buffer (so
+// the incoming address's own slots (whose positions the missed lookup left in
+// posBuf) and picks a victim according to the replacement mode, returning the chosen node's index in the walk buffer (so
 // the relocation chain can be applied) and whether the eviction was forced.
-func (c *ZCache) replacementWalk(addr uint64, inserting PartitionID) (int, bool) {
-	all := c.walkNodes[:0]
-	seen := c.walkSeen[:0]
+//
+// Candidates are scored as they are appended, fusing what used to be three
+// separate passes (invalid scan, Vantage quota scan, LRU scan) into the
+// expansion itself: an invalid slot wins outright and ends the walk early,
+// and the best over-quota and global-LRU candidates are tracked incrementally
+// in append order, which preserves the exact victim choice of a sequential
+// scan of the full candidate buffer.
+func (c *ZCache) replacementWalk(inserting PartitionID) (int, bool) {
+	// Everything the loops touch is hoisted into locals: the stores into the
+	// walk buffers would otherwise force reloads of the receiver's fields on
+	// every candidate.
+	c.gen++
+	gen := c.gen
+	info := c.info
+	seen, seenMask := c.seenTab, c.seenMask
+	nodes := c.walkNodes[:cap(c.walkNodes)]
+	n := 0
+	ways := c.ways
+	cand := c.candidates
+	spw := c.numSetsPerWay
+	muls := c.wayMuls
 
-	contains := func(pos uint64) bool {
-		for _, p := range seen {
-			if p == pos {
-				return true
-			}
+	// Partition sizes and targets cannot change during a walk, so the quota
+	// excess each candidate would be scored with is precomputed per
+	// partition; scoring a candidate is then a single indexed load.
+	over := c.overTab
+	targets, sizes := c.parts.targets, c.parts.sizes
+	for p := range over {
+		size := sizes[p]
+		if PartitionID(p) == inserting {
+			size++
 		}
-		return false
+		if size > targets[p] {
+			over[p] = size - targets[p]
+		} else {
+			over[p] = 0
+		}
 	}
 
-	for w := 0; w < c.ways; w++ {
-		s := c.slotFor(addr, w)
-		pos := c.slotPos(s)
-		if contains(pos) {
-			continue
+	bestVan := -1                   // best over-quota candidate (ModeVantage)
+	var bestOver, bestVanUse uint64 // its quota excess and lastUse
+	lruIdx, lruUse := 0, ^uint64(0) // global LRU candidate (fallback / ModeLRU)
+
+	// Roots: the incoming address's own slots, whose positions the lookup
+	// that just missed already computed.
+	roots := c.posBuf
+	for w := 0; w < ways; w++ {
+		pos := roots[w]
+		si := pos * 0x9e3779b97f4a7c15 >> 32
+		for {
+			e := &seen[si&seenMask]
+			if e.gen != gen {
+				e.gen, e.pos = gen, pos
+				break
+			}
+			if e.pos == pos {
+				goto nextRoot
+			}
+			si++
 		}
-		seen = append(seen, pos)
-		all = append(all, walkNode{s: s, parent: -1})
+		{
+			i := n
+			nodes[i] = walkNode{pos: pos, way: int32(w), parent: -1}
+			n++
+			inf := info[pos]
+			if inf&zValidBit == 0 {
+				c.walkNodes = nodes[:n]
+				return i, false
+			}
+			use := inf >> zUseShift
+			if use < lruUse {
+				lruIdx, lruUse = i, use
+			}
+			if o := over[inf>>zPartShift&zPartMask]; o != 0 && (o > bestOver || (o == bestOver && use < bestVanUse)) {
+				bestVan, bestOver, bestVanUse = i, o, use
+			}
+		}
+	nextRoot:
 	}
 
 	// Expand breadth-first (the buffer itself is the queue) until the
-	// candidate budget is reached. Empty slots are terminal.
-	for scan := 0; scan < len(all) && len(all) < c.candidates; scan++ {
-		ln := c.lines[c.slotPos(all[scan].s)]
-		if !ln.valid {
-			continue
-		}
-		for w := 0; w < c.ways && len(all) < c.candidates; w++ {
-			if w == all[scan].s.way {
+	// candidate budget is reached. Every node reached here holds a valid line
+	// (an invalid slot would have ended the walk above), and only the nodes
+	// the BFS actually expands pay the load of their line's address.
+	for scan := 0; scan < n && n < cand; scan++ {
+		node := nodes[scan]
+		nodeHash := baseHash(c.addrs[node.pos])
+		for w := 0; w < ways; w++ {
+			if int32(w) == node.way {
 				continue
 			}
-			s := c.slotFor(ln.addr, w)
-			pos := c.slotPos(s)
-			if contains(pos) {
-				continue
+			if n >= cand {
+				break
 			}
-			seen = append(seen, pos)
-			all = append(all, walkNode{s: s, parent: scan})
+			pos := uint64(w)*spw + reduceRange(nodeHash*muls[w], spw)
+			si := pos * 0x9e3779b97f4a7c15 >> 32
+			for {
+				e := &seen[si&seenMask]
+				if e.gen != gen {
+					e.gen, e.pos = gen, pos
+					break
+				}
+				if e.pos == pos {
+					goto nextChild
+				}
+				si++
+			}
+			{
+				i := n
+				nodes[i] = walkNode{pos: pos, way: int32(w), parent: int32(scan)}
+				n++
+				inf := info[pos]
+				if inf&zValidBit == 0 {
+					c.walkNodes = nodes[:n]
+					return i, false
+				}
+				use := inf >> zUseShift
+				if use < lruUse {
+					lruIdx, lruUse = i, use
+				}
+				if o := over[inf>>zPartShift&zPartMask]; o != 0 && (o > bestOver || (o == bestOver && use < bestVanUse)) {
+					bestVan, bestOver, bestVanUse = i, o, use
+				}
+			}
+		nextChild:
 		}
 	}
-	c.walkNodes = all
-	c.walkSeen = seen
+	c.walkNodes = nodes[:n]
 
-	// Victim selection over all candidates.
-	// 1. Any invalid slot wins outright (no eviction).
-	for i := range all {
-		if !c.lines[c.slotPos(all[i].s)].valid {
-			return i, false
+	if c.mode == ModeVantage {
+		if bestVan >= 0 {
+			return bestVan, false
 		}
+		// All candidates belong to partitions at/below target: forced (the
+		// situation the large walk makes negligibly rare).
+		return lruIdx, true
 	}
-	switch c.mode {
-	case ModeVantage:
-		best := -1
-		var bestOver, bestUse uint64
-		for i := range all {
-			ln := &c.lines[c.slotPos(all[i].s)]
-			over := c.parts.overQuota(ln.part, inserting)
-			if over == 0 {
-				continue
-			}
-			if best < 0 || over > bestOver || (over == bestOver && ln.lastUse < bestUse) {
-				best, bestOver, bestUse = i, over, ln.lastUse
-			}
-		}
-		if best >= 0 {
-			return best, false
-		}
-		// All candidates belong to partitions at/below target: forced.
-		return c.lruNode(all), true
-	default: // ModeLRU
-		return c.lruNode(all), false
-	}
-}
-
-func (c *ZCache) lruNode(all []walkNode) int {
-	best := 0
-	bestUse := c.lines[c.slotPos(all[0].s)].lastUse
-	for i := 1; i < len(all); i++ {
-		if u := c.lines[c.slotPos(all[i].s)].lastUse; u < bestUse {
-			best, bestUse = i, u
-		}
-	}
-	return best
+	return lruIdx, false // ModeLRU
 }
 
 // Contains reports whether addr is currently cached (used by tests).
 func (c *ZCache) Contains(addr uint64) bool {
 	for w := 0; w < c.ways; w++ {
-		s := c.slotFor(addr, w)
-		ln := c.lines[c.slotPos(s)]
-		if ln.valid && ln.addr == addr {
+		pos := c.slotIndex(addr, w)
+		if c.addrs[pos] == addr && c.info[pos]&zValidBit != 0 {
 			return true
 		}
 	}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/mix"
+	"repro/internal/parallel"
 	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -36,25 +37,32 @@ type Scale struct {
 	LoadPoints int
 	// Seed drives mix selection and all run randomness.
 	Seed uint64
-	// Parallelism bounds concurrent mix simulations (0 = GOMAXPROCS).
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
 	Parallelism int
+	// SubMixSharding distributes work below the mix level across the worker
+	// pool as well: load-sweep points, per-instance isolation baselines, and
+	// baseline cache warming all shard over Parallelism workers. Results are
+	// bit-identical with sharding on or off and at any parallelism (each
+	// shard is an independent, seed-determined simulation whose output lands
+	// in an index-addressed slot).
+	SubMixSharding bool
 }
 
 // QuickScale is sized for benchmarks and smoke tests (minutes for the whole
 // suite).
 func QuickScale() Scale {
-	return Scale{RequestFactor: 0.08, MixesPerLC: 1, BatchROI: 300_000, LoadPoints: 4, Seed: 1}
+	return Scale{RequestFactor: 0.08, MixesPerLC: 1, BatchROI: 300_000, LoadPoints: 4, Seed: 1, SubMixSharding: true}
 }
 
 // DefaultScale is the development default: small but statistically meaningful.
 func DefaultScale() Scale {
-	return Scale{RequestFactor: 0.25, MixesPerLC: 4, BatchROI: 600_000, LoadPoints: 6, Seed: 1}
+	return Scale{RequestFactor: 0.25, MixesPerLC: 4, BatchROI: 600_000, LoadPoints: 6, Seed: 1, SubMixSharding: true}
 }
 
 // FullScale approximates the paper's evaluation breadth (all 400 mixes, full
 // request counts); expect hours of runtime.
 func FullScale() Scale {
-	return Scale{RequestFactor: 1.0, MixesPerLC: 40, BatchROI: 1_500_000, LoadPoints: 9, Seed: 1}
+	return Scale{RequestFactor: 1.0, MixesPerLC: 40, BatchROI: 1_500_000, LoadPoints: 9, Seed: 1, SubMixSharding: true}
 }
 
 func (s Scale) parallelism() int {
@@ -66,6 +74,15 @@ func (s Scale) parallelism() int {
 		n = 1
 	}
 	return n
+}
+
+// shardWorkers returns the worker count for sub-mix work: the pool size when
+// sharding is enabled, otherwise 1 (serial).
+func (s Scale) shardWorkers() int {
+	if !s.SubMixSharding {
+		return 1
+	}
+	return s.parallelism()
 }
 
 func (s Scale) requestFactor() float64 {
@@ -170,7 +187,10 @@ func (b *Baselines) LC(lc mix.LCConfig) (sim.LCBaseline, error) {
 }
 
 // PooledIsolatedTail returns the pooled isolated tail latency across the
-// configuration's instances, run with exactly the seeds the mix instances use.
+// configuration's instances, run with exactly the seeds the mix instances
+// use. With SubMixSharding the per-instance isolation runs are distributed
+// over the worker pool; the pooled sample is assembled in instance order, so
+// the result is identical at any parallelism.
 func (b *Baselines) PooledIsolatedTail(lc mix.LCConfig, percentile float64) (float64, error) {
 	key := lc.Name()
 	b.mu.Lock()
@@ -183,13 +203,17 @@ func (b *Baselines) PooledIsolatedTail(lc mix.LCConfig, percentile float64) (flo
 	if err != nil {
 		return 0, err
 	}
+	seeds := make([]uint64, lc.Instances)
+	for i := range seeds {
+		seeds[i] = instanceSeed(b.scale.Seed, lc, i)
+	}
+	results, err := sim.RunIsolatedLCShards(b.cfg, lc.App, lc.App.TargetLines(), base.MeanInterarrival,
+		b.scale.requestFactor(), seeds, b.scale.shardWorkers())
+	if err != nil {
+		return 0, err
+	}
 	pooled := stats.NewSample(256)
-	for i := 0; i < lc.Instances; i++ {
-		res, err := sim.RunIsolatedLC(b.cfg, lc.App, lc.App.TargetLines(), base.MeanInterarrival,
-			b.scale.requestFactor(), instanceSeed(b.scale.Seed, lc, i))
-		if err != nil {
-			return 0, err
-		}
+	for _, res := range results {
 		lcRes := res.LCResults()
 		if len(lcRes) != 1 {
 			return 0, fmt.Errorf("experiment: isolation run returned %d LC results", len(lcRes))
@@ -308,7 +332,9 @@ func RunMixScheme(cfg sim.Config, scale Scale, baselines *Baselines, m mix.Mix, 
 }
 
 // Sweep runs every mix under every scheme, in parallel across mixes, and
-// returns all records.
+// returns all records. Baseline caches are warmed first — sharded across the
+// worker pool when SubMixSharding is on, serially otherwise — so the mix jobs
+// never race to compute the same baseline key.
 func Sweep(cfg sim.Config, scale Scale, baselines *Baselines, mixes []mix.Mix, schemes []Scheme) ([]MixRecord, error) {
 	type job struct {
 		m mix.Mix
@@ -320,42 +346,64 @@ func Sweep(cfg sim.Config, scale Scale, baselines *Baselines, mixes []mix.Mix, s
 			jobs = append(jobs, job{m: m, s: s})
 		}
 	}
-	// Warm the baseline caches serially to avoid duplicated work across
-	// workers racing on the same key.
-	for _, m := range mixes {
-		if _, err := baselines.LC(m.LC); err != nil {
-			return nil, err
-		}
-		if _, err := baselines.PooledIsolatedTail(m.LC, cfg.TailPercentile); err != nil {
-			return nil, err
-		}
-		for _, p := range m.Batch.Apps {
-			if _, err := baselines.BatchIPC(p); err != nil {
-				return nil, err
-			}
-		}
+	if err := warmBaselines(cfg, scale, baselines, mixes); err != nil {
+		return nil, err
 	}
 
 	records := make([]MixRecord, len(jobs))
-	errs := make([]error, len(jobs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, scale.parallelism())
-	for i, j := range jobs {
-		wg.Add(1)
-		go func(i int, j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			records[i], errs[i] = RunMixScheme(cfg, scale, baselines, j.m, j.s)
-		}(i, j)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	err := parallel.For(len(jobs), scale.parallelism(), func(i int) error {
+		var err error
+		records[i], err = RunMixScheme(cfg, scale, baselines, jobs[i].m, jobs[i].s)
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return records, nil
+}
+
+// warmBaselines populates the baseline caches for every distinct
+// latency-critical configuration and batch profile the mixes reference. Each
+// phase shards its distinct keys over the pool (each key is computed exactly
+// once; the per-key computations are independent, seed-determined
+// simulations, so warming order cannot affect any value).
+func warmBaselines(cfg sim.Config, scale Scale, baselines *Baselines, mixes []mix.Mix) error {
+	var lcs []mix.LCConfig
+	seenLC := map[string]bool{}
+	var batches []workload.BatchProfile
+	seenBatch := map[string]bool{}
+	for _, m := range mixes {
+		if key := m.LC.Name(); !seenLC[key] {
+			seenLC[key] = true
+			lcs = append(lcs, m.LC)
+		}
+		for _, p := range m.Batch.Apps {
+			if !seenBatch[p.Name] {
+				seenBatch[p.Name] = true
+				batches = append(batches, p)
+			}
+		}
+	}
+	workers := scale.shardWorkers()
+	if err := parallel.For(len(lcs), workers, func(i int) error {
+		_, err := baselines.LC(lcs[i])
+		return err
+	}); err != nil {
+		return err
+	}
+	// The pooled-tail phase runs its keys serially: PooledIsolatedTail
+	// already shards its per-instance isolation runs over the full pool, and
+	// nesting two full fan-outs would multiply to ~workers^2 concurrent
+	// simulations for no extra throughput.
+	for _, lc := range lcs {
+		if _, err := baselines.PooledIsolatedTail(lc, cfg.TailPercentile); err != nil {
+			return err
+		}
+	}
+	return parallel.For(len(batches), workers, func(i int) error {
+		_, err := baselines.BatchIPC(batches[i])
+		return err
+	})
 }
 
 // MixesFor builds the (possibly sampled) mix list for the given scale.

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -236,6 +237,95 @@ func TestMicroSweepAndAggregations(t *testing.T) {
 	}
 	if names := recordSchemes(records); len(names) != 2 {
 		t.Errorf("expected 2 schemes in records, got %v", names)
+	}
+}
+
+// TestSweepDeterministicUnderParallelism is the contract the sharded runners
+// must keep: the same Scale.Seed produces bit-identical MixRecords whether the
+// sweep runs on 1 or 4 workers and whether sub-mix sharding (load points and
+// per-instance isolation baselines distributed across the pool) is on or off.
+func TestSweepDeterministicUnderParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps are slow")
+	}
+	cfg := microConfig()
+	lc := mix.LCConfig{App: mustLC(t, "masstree"), Level: mix.LowLoad, Instances: 2}
+	batches, err := mix.BatchMixes(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixes := []mix.Mix{{ID: 0, LC: lc, Batch: batches[0]}}
+	schemes := []Scheme{StandardSchemes()[3], StandardSchemes()[4]} // StaticLC and Ubik
+
+	variants := []struct {
+		name        string
+		parallelism int
+		shard       bool
+	}{
+		{"p1-noshard", 1, false},
+		{"p1-shard", 1, true},
+		{"p4-shard", 4, true},
+		{"p4-noshard", 4, false},
+	}
+	var reference []MixRecord
+	for _, v := range variants {
+		scale := microScale()
+		scale.Parallelism = v.parallelism
+		scale.SubMixSharding = v.shard
+		// Fresh baselines per variant: cached values must be recomputed under
+		// each parallelism setting for the comparison to mean anything.
+		records, err := Sweep(cfg, scale, NewBaselines(cfg, scale), mixes, schemes)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		if reference == nil {
+			reference = records
+			continue
+		}
+		if len(records) != len(reference) {
+			t.Fatalf("%s: %d records, want %d", v.name, len(records), len(reference))
+		}
+		for i, r := range records {
+			ref := reference[i]
+			if r.Scheme != ref.Scheme || r.Mix.ID != ref.Mix.ID {
+				t.Fatalf("%s: record %d is (%s, mix %d), want (%s, mix %d)",
+					v.name, i, r.Scheme, r.Mix.ID, ref.Scheme, ref.Mix.ID)
+			}
+			// Bit-exact equality, not tolerance: sharding must not change a
+			// single simulated event.
+			if r.TailDegradation != ref.TailDegradation ||
+				r.WeightedSpeedup != ref.WeightedSpeedup ||
+				r.PooledTailCycles != ref.PooledTailCycles ||
+				r.BaselineTailCycles != ref.BaselineTailCycles {
+				t.Errorf("%s: record %d differs from %s:\n got  %+v\n want %+v",
+					v.name, i, variants[0].name, r, ref)
+			}
+		}
+	}
+}
+
+// TestFig1LoadLatencyDeterministicUnderSharding checks the sharded load sweep
+// against its serial form.
+func TestFig1LoadLatencyDeterministicUnderSharding(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load sweeps are slow")
+	}
+	cfg := microConfig()
+	run := func(parallelism int, shard bool) []Table {
+		scale := microScale()
+		scale.RequestFactor = 0.02
+		scale.Parallelism = parallelism
+		scale.SubMixSharding = shard
+		tables, err := Fig1LoadLatency(cfg, scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tables
+	}
+	serial := run(1, false)
+	sharded := run(4, true)
+	if !reflect.DeepEqual(serial, sharded) {
+		t.Errorf("sharded load sweep differs from serial:\n got  %+v\n want %+v", sharded, serial)
 	}
 }
 

@@ -6,32 +6,44 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/mix"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
 // Fig1LoadLatency reproduces Figure 1a: mean and tail latency as a function of
 // offered load for every latency-critical application running alone on a 2 MB
-// LLC.
+// LLC. The (application, load point) grid is sharded across the worker pool
+// when SubMixSharding is on; every point is an independent seed-determined
+// calibration whose row lands in its grid slot, so the tables are identical
+// at any parallelism.
 func Fig1LoadLatency(cfg sim.Config, scale Scale) ([]Table, error) {
 	points := scale.LoadPoints
 	if points < 2 {
 		points = 4
 	}
+	profiles := workload.AllLCProfiles()
+	rows := make([][]string, len(profiles)*points)
+	err := parallel.For(len(rows), scale.shardWorkers(), func(i int) error {
+		p := profiles[i/points]
+		load := 0.1 + 0.8*float64(i%points)/float64(points-1)
+		base, err := sim.MeasureLCBaseline(cfg, p, p.TargetLines(), load, scale.requestFactor())
+		if err != nil {
+			return err
+		}
+		rows[i] = []string{f3(load), f0(base.MeanLatency), f0(base.TailLatency)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var tables []Table
-	for _, p := range workload.AllLCProfiles() {
+	for pi, p := range profiles {
 		t := Table{
 			ID:     "fig1a-" + p.Name,
 			Title:  fmt.Sprintf("Load-latency for %s (cycles, isolated, 2 MB LLC)", p.Name),
 			Header: []string{"load", "mean_latency", "tail95_latency"},
-		}
-		for i := 0; i < points; i++ {
-			load := 0.1 + 0.8*float64(i)/float64(points-1)
-			base, err := sim.MeasureLCBaseline(cfg, p, p.TargetLines(), load, scale.requestFactor())
-			if err != nil {
-				return nil, err
-			}
-			t.Rows = append(t.Rows, []string{f3(load), f0(base.MeanLatency), f0(base.TailLatency)})
+			Rows:   rows[pi*points : (pi+1)*points],
 		}
 		tables = append(tables, t)
 	}

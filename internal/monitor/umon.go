@@ -1,6 +1,9 @@
 package monitor
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // UMON is a utility monitor in the style of Qureshi & Patt's UCP (MICRO 2006),
 // as used by the paper: a set-sampled shadow tag directory that measures, for
@@ -107,10 +110,11 @@ func umonHash(addr uint64) uint64 {
 	return x
 }
 
-// Access presents one LLC access to the monitor.
+// Access presents one LLC access to the monitor. It runs on every simulated
+// LLC access, so set selection uses a divide-free multiply-shift reduction.
 func (u *UMON) Access(addr uint64) {
 	u.state.TotalAccesses++
-	set := umonHash(addr) % u.totalSets
+	set, _ := bits.Mul64(umonHash(addr), u.totalSets)
 	if set >= uint64(u.sampleSets) {
 		return
 	}

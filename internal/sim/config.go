@@ -43,6 +43,13 @@ type Config struct {
 	Seed uint64
 	// MaxCycles aborts runaway simulations (0 = no limit).
 	MaxCycles uint64
+	// StepQuantumCycles bounds how far the scheduler lets the least-advanced
+	// application run past the next application's local clock before
+	// rescheduling. Larger quanta amortise scheduler work over longer runs of
+	// same-app accesses at the cost of coarser interleaving; 0 reproduces the
+	// exact smallest-clock-first interleaving. Runs are deterministic for any
+	// fixed value (see DESIGN.md §2).
+	StepQuantumCycles uint64
 }
 
 // LinesFor2MB is the scaled line count standing in for a 2 MB LLC bank.
@@ -62,6 +69,7 @@ func DefaultConfig() Config {
 		UMONSampleSets:         64,
 		MissCurvePoints:        256,
 		Seed:                   1,
+		StepQuantumCycles:      1024,
 	}
 }
 

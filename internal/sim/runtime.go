@@ -26,6 +26,13 @@ type appRuntime struct {
 	mlpFactor      float64
 	instrPerAccess uint64 // batch instructions per access
 
+	// Per-access cycle costs, precomputed from the core model at construction
+	// (they depend only on per-app constants, and doAccess runs once per
+	// simulated LLC access).
+	hitCycles   uint64
+	missCycles  uint64
+	missPenalty float64
+
 	// Local clock and counters.
 	clock    uint64
 	counters cpu.PerfCounters
@@ -61,8 +68,12 @@ type appRuntime struct {
 	active             bool
 	accessesSinceCheck uint64
 
-	// Batch region of interest.
+	// Batch region of interest. roiReached records that the app has retired
+	// its region of interest (it keeps running — and contending for cache —
+	// until the whole run terminates, but the scheduler's batch-only
+	// termination count drops when it crosses the threshold).
 	roiInstructions uint64
+	roiReached      bool
 
 	// done marks an app that has no further work to simulate.
 	done bool
@@ -128,6 +139,9 @@ func newAppRuntime(idx int, spec AppSpec, cfg Config) (*appRuntime, error) {
 		ipa = 1
 	}
 	a.instrPerAccess = uint64(ipa + 0.5)
+	a.hitCycles = uint64(cfg.Core.AccessCycles(a.baseCPI, a.apki, a.mlpFactor, false))
+	a.missCycles = uint64(cfg.Core.AccessCycles(a.baseCPI, a.apki, a.mlpFactor, true))
+	a.missPenalty = cfg.Core.MissPenalty(a.mlpFactor)
 	return a, nil
 }
 

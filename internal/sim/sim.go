@@ -19,6 +19,17 @@ type Simulator struct {
 	policy policy.Policy
 	view   *simView
 
+	// Event scheduling state: sched is a min-heap of not-yet-finished apps
+	// ordered by (local clock, slot index); running is the app currently
+	// being stepped (popped off the heap); the remaining fields are the
+	// counters the run's termination condition is tracked with, so the inner
+	// loop never rescans all apps.
+	sched     []*appRuntime
+	running   *appRuntime
+	hasLC     bool
+	lcLeft    int
+	batchLeft int
+
 	nextReconfig     uint64
 	reconfigurations uint64
 	targetSamples    []float64
@@ -95,28 +106,114 @@ func (s *Simulator) setInitialTargets() {
 }
 
 // globalTime returns the time of the slowest still-running application, the
-// point up to which the whole machine has simulated.
+// point up to which the whole machine has simulated. During a run this is the
+// minimum of the scheduler heap's root and the currently stepped app — O(1)
+// instead of a scan over all apps.
 func (s *Simulator) globalTime() uint64 {
-	var min uint64
-	first := true
-	for _, a := range s.apps {
-		if a.done {
-			continue
-		}
-		if first || a.clock < min {
-			min = a.clock
-			first = false
-		}
+	var t uint64
+	found := false
+	if a := s.running; a != nil && !a.done {
+		t = a.clock
+		found = true
 	}
-	if first {
+	if len(s.sched) > 0 && (!found || s.sched[0].clock < t) {
+		t = s.sched[0].clock
+		found = true
+	}
+	if !found {
 		// Everyone is done: report the maximum clock.
 		for _, a := range s.apps {
-			if a.clock > min {
-				min = a.clock
+			if a.clock > t {
+				t = a.clock
 			}
 		}
 	}
-	return min
+	return t
+}
+
+// schedLess orders the run queue by (local clock, slot index) — the same
+// deterministic smallest-clock-first, lowest-slot tie-break a sequential scan
+// over the app slots produces.
+func schedLess(a, b *appRuntime) bool {
+	return a.clock < b.clock || (a.clock == b.clock && a.idx < b.idx)
+}
+
+// pushApp inserts an app into the scheduler heap.
+func (s *Simulator) pushApp(a *appRuntime) {
+	s.sched = append(s.sched, a)
+	i := len(s.sched) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !schedLess(s.sched[i], s.sched[p]) {
+			break
+		}
+		s.sched[i], s.sched[p] = s.sched[p], s.sched[i]
+		i = p
+	}
+}
+
+// popNext removes and returns the least-advanced app, or nil when the heap is
+// empty.
+func (s *Simulator) popNext() *appRuntime {
+	n := len(s.sched)
+	if n == 0 {
+		return nil
+	}
+	a := s.sched[0]
+	last := s.sched[n-1]
+	s.sched[n-1] = nil
+	s.sched = s.sched[:n-1]
+	if n--; n > 0 {
+		i := 0
+		for {
+			child := 2*i + 1
+			if child >= n {
+				break
+			}
+			if r := child + 1; r < n && schedLess(s.sched[r], s.sched[child]) {
+				child = r
+			}
+			if !schedLess(s.sched[child], last) {
+				break
+			}
+			s.sched[i] = s.sched[child]
+			i = child
+		}
+		s.sched[i] = last
+	}
+	return a
+}
+
+// startSchedule builds the scheduler heap and termination counters.
+func (s *Simulator) startSchedule() {
+	s.sched = s.sched[:0]
+	s.hasLC, s.lcLeft, s.batchLeft = false, 0, 0
+	for _, a := range s.apps {
+		if a.isLC() {
+			s.hasLC = true
+			if !a.done {
+				s.lcLeft++
+			}
+		} else {
+			a.roiReached = a.counters.Instructions >= a.roiInstructions
+			if !a.roiReached {
+				s.batchLeft++
+			}
+		}
+		if !a.done {
+			s.pushApp(a)
+		}
+	}
+}
+
+// pending reports whether the run's termination condition still fails: with
+// latency-critical apps, any of them not done; in a batch-only run, any batch
+// app short of its region of interest.
+func (s *Simulator) pending() bool {
+	if s.hasLC {
+		return s.lcLeft > 0
+	}
+	return s.batchLeft > 0
 }
 
 // applyResizes applies a policy's partition retargets, clamping each target to
@@ -137,59 +234,72 @@ func (s *Simulator) applyResizes(resizes []policy.Resize) {
 // Run simulates until every latency-critical application has completed its
 // requests (or, in a batch-only run, until every batch application has retired
 // its region of interest), and returns the per-application results.
+//
+// The scheduler pops the least-advanced application off a min-heap of local
+// clocks and steps it in a batch until its clock passes the next
+// application's clock by more than StepQuantumCycles, it crosses a
+// reconfiguration boundary, or it finishes — amortising heap maintenance and
+// the reconfiguration/termination checks over runs of same-app accesses
+// instead of paying three O(N) scans per access. With a zero quantum the
+// interleaving is exactly the sequential smallest-clock-first order.
 func (s *Simulator) Run() (Result, error) {
-	hasLC := false
-	for _, a := range s.apps {
-		if a.isLC() {
-			hasLC = true
-		}
-	}
-	for !s.finished(hasLC) {
-		a := s.nextApp()
+	s.startSchedule()
+	quantum := s.cfg.StepQuantumCycles
+	maxCycles := s.cfg.MaxCycles
+	for s.pending() {
+		a := s.popNext()
 		if a == nil {
 			break
 		}
-		if a.isLC() {
-			s.stepLC(a)
-		} else {
-			s.stepBatch(a)
+		s.running = a
+		// a holds the minimum clock, so it carries the global time: fire the
+		// reconfiguration boundaries it has crossed and detect runaway runs.
+		if a.clock >= s.nextReconfig {
+			s.reconfigureAt(a.clock)
 		}
-		s.maybeReconfigure()
-		if s.cfg.MaxCycles > 0 && s.globalTime() > s.cfg.MaxCycles {
-			return Result{}, fmt.Errorf("sim: exceeded MaxCycles=%d; configuration is likely unstable (offered load too high)", s.cfg.MaxCycles)
+		if maxCycles > 0 && a.clock > maxCycles {
+			s.running = nil
+			return Result{}, fmt.Errorf("sim: exceeded MaxCycles=%d; configuration is likely unstable (offered load too high)", maxCycles)
+		}
+		// The batch horizon: a runs while it would still win the heap within
+		// the quantum's slack.
+		horizon, horizonIdx := ^uint64(0), -1
+		if len(s.sched) > 0 {
+			horizon, horizonIdx = s.sched[0].clock+quantum, s.sched[0].idx
+		}
+		for !a.done {
+			if a.clock > horizon || (a.clock == horizon && a.idx > horizonIdx) {
+				break
+			}
+			if a.clock >= s.nextReconfig {
+				break
+			}
+			if maxCycles > 0 && a.clock > maxCycles {
+				break
+			}
+			if a.isLC() {
+				s.stepLC(a)
+			} else {
+				s.stepBatch(a)
+				if !a.roiReached && a.counters.Instructions >= a.roiInstructions {
+					a.roiReached = true
+					s.batchLeft--
+					if !s.hasLC && s.batchLeft == 0 {
+						break
+					}
+				}
+			}
+		}
+		s.running = nil
+		if a.done {
+			if a.isLC() {
+				s.lcLeft--
+			}
+		} else {
+			s.pushApp(a)
 		}
 	}
 	return s.collect(), nil
-}
-
-// finished reports whether the run's termination condition holds.
-func (s *Simulator) finished(hasLC bool) bool {
-	for _, a := range s.apps {
-		if a.isLC() {
-			if !a.done {
-				return false
-			}
-		} else if !hasLC {
-			if a.instructionsDone() < a.roiInstructions {
-				return false
-			}
-		}
-	}
-	return true
-}
-
-// nextApp picks the not-done application with the smallest local clock.
-func (s *Simulator) nextApp() *appRuntime {
-	var best *appRuntime
-	for _, a := range s.apps {
-		if a.done {
-			continue
-		}
-		if best == nil || a.clock < best.clock {
-			best = a
-		}
-	}
-	return best
 }
 
 // stepBatch advances a batch application by one LLC access.
@@ -277,12 +387,15 @@ func (s *Simulator) doAccess(a *appRuntime, meta uint64, instructions uint64) {
 	addr := a.stream.Next()
 	res := s.llc.Access(addr, partID(a.idx), meta)
 	miss := !res.Hit
-	cycles := s.cfg.Core.AccessCycles(a.baseCPI, a.apki, a.mlpFactor, miss)
-	a.counters.Add(instructions, uint64(cycles), miss)
-	a.clock += uint64(cycles)
+	cycles := a.hitCycles
+	if miss {
+		cycles = a.missCycles
+	}
+	a.counters.Add(instructions, cycles, miss)
+	a.clock += cycles
 	a.umon.Access(addr)
 	if miss {
-		a.mlp.RecordMiss(s.cfg.Core.MissPenalty(a.mlpFactor))
+		a.mlp.RecordMiss(a.missPenalty)
 	}
 	if a.reuse != nil {
 		age := uint64(0)
@@ -293,13 +406,10 @@ func (s *Simulator) doAccess(a *appRuntime, meta uint64, instructions uint64) {
 	}
 }
 
-// maybeReconfigure fires the periodic policy reconfiguration when the whole
-// machine has advanced past the next interval boundary.
-func (s *Simulator) maybeReconfigure() {
-	now := s.globalTime()
-	if now < s.nextReconfig {
-		return
-	}
+// reconfigureAt fires the periodic policy reconfiguration for every interval
+// boundary the global clock has crossed. now must be the current global time
+// (the scheduler calls it with the minimum local clock).
+func (s *Simulator) reconfigureAt(now uint64) {
 	// A mostly idle machine (e.g. an isolation run at a tiny load) can jump
 	// many intervals at once; collapsing the backlog into one reconfiguration
 	// keeps the loop O(events) instead of O(idle time).

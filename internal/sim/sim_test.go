@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/cache"
@@ -229,6 +230,33 @@ func TestBatchBaselineIPC(t *testing.T) {
 	}
 }
 
+// smallMixReqFactor trims the shared small-mix runs so the whole package
+// stays fast while every assertion still sees hundreds of requests.
+const smallMixReqFactor = 0.12
+
+var (
+	smallMixMu        sync.Mutex
+	smallMixBaselines = map[cpu.Kind]LCBaseline{}
+)
+
+// smallMixBaseline calibrates (once per core kind — every small-mix test uses
+// the same configuration, so recalibrating per test would only repeat
+// identical simulations) the isolated baseline the small mixes run against.
+func smallMixBaseline(t *testing.T, cfg Config, lc workload.LCProfile) LCBaseline {
+	t.Helper()
+	smallMixMu.Lock()
+	defer smallMixMu.Unlock()
+	if base, ok := smallMixBaselines[cfg.Core.Kind]; ok {
+		return base
+	}
+	base, err := MeasureLCBaseline(cfg, lc, lc.TargetLines(), 0.2, smallMixReqFactor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallMixBaselines[cfg.Core.Kind] = base
+	return base
+}
+
 // runSmallMix runs a 2 LC + 2 batch mix under the given policy.
 func runSmallMix(t *testing.T, pol policy.Policy, coreKind cpu.Kind) Result {
 	t.Helper()
@@ -239,13 +267,10 @@ func runSmallMix(t *testing.T, pol policy.Policy, coreKind cpu.Kind) Result {
 	batch1 := smallBatch(t, "mcf")
 	batch2 := smallBatch(t, "libquantum")
 
-	base, err := MeasureLCBaseline(cfg, lc, lc.TargetLines(), 0.2, 0.2)
-	if err != nil {
-		t.Fatal(err)
-	}
+	base := smallMixBaseline(t, cfg, lc)
 	specs := []AppSpec{
-		{LC: &lc, Load: 0.2, MeanInterarrival: base.MeanInterarrival, DeadlineCycles: uint64(base.TailLatency), RequestFactor: 0.2},
-		{LC: &lc, Load: 0.2, MeanInterarrival: base.MeanInterarrival, DeadlineCycles: uint64(base.TailLatency), RequestFactor: 0.2, Seed: 999},
+		{LC: &lc, Load: 0.2, MeanInterarrival: base.MeanInterarrival, DeadlineCycles: uint64(base.TailLatency), RequestFactor: smallMixReqFactor},
+		{LC: &lc, Load: 0.2, MeanInterarrival: base.MeanInterarrival, DeadlineCycles: uint64(base.TailLatency), RequestFactor: smallMixReqFactor, Seed: 999},
 		{Batch: &batch1},
 		{Batch: &batch2},
 	}
@@ -267,6 +292,7 @@ func TestMixRunAllPolicies(t *testing.T) {
 	for _, pol := range policies {
 		pol := pol
 		t.Run(pol.Name(), func(t *testing.T) {
+			t.Parallel()
 			res := runSmallMix(t, pol, cpu.OutOfOrder)
 			lcs := res.LCResults()
 			if len(lcs) != 2 {
@@ -311,6 +337,7 @@ func TestLRUCacheModeForLRUPolicy(t *testing.T) {
 	if testing.Short() {
 		t.Skip("mix runs are slow")
 	}
+	t.Parallel()
 	res := runSmallMix(t, policy.NewLRU(), cpu.OutOfOrder)
 	if len(res.Apps) != 4 {
 		t.Fatalf("expected 4 apps")
@@ -338,10 +365,79 @@ func TestWeightedSpeedupHelper(t *testing.T) {
 	}
 }
 
+// TestSchedulerQuantumDeterminism locks in the event scheduler's contract:
+// for any fixed step quantum (including 0, the exact smallest-clock-first
+// interleaving), repeated runs with the same seed are bit-identical, and
+// every quantum produces a complete, self-consistent run.
+func TestSchedulerQuantumDeterminism(t *testing.T) {
+	lc := smallLC(t, "masstree")
+	batch := smallBatch(t, "mcf")
+	run := func(quantum uint64) Result {
+		cfg := testConfig()
+		cfg.StepQuantumCycles = quantum
+		specs := []AppSpec{
+			{LC: &lc, Load: 0.2, MeanInterarrival: 60_000, RequestFactor: 0.05},
+			{Batch: &batch},
+		}
+		res, err := RunMix(cfg, specs, policy.NewStaticLC())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for _, quantum := range []uint64{0, 1024, 50_000} {
+		a, b := run(quantum), run(quantum)
+		if a.Cycles != b.Cycles {
+			t.Errorf("quantum=%d: run length not reproducible: %d vs %d", quantum, a.Cycles, b.Cycles)
+		}
+		la, lb := a.LCResults(), b.LCResults()
+		if len(la) != 1 || len(lb) != 1 {
+			t.Fatalf("quantum=%d: expected 1 LC result", quantum)
+		}
+		if la[0].TailLatency != lb[0].TailLatency || la[0].MeanLatency != lb[0].MeanLatency {
+			t.Errorf("quantum=%d: latencies not reproducible", quantum)
+		}
+		if la[0].Requests == 0 || la[0].TailLatency <= 0 {
+			t.Errorf("quantum=%d: run incomplete: %+v", quantum, la[0])
+		}
+		if a.BatchResults()[0].IPC <= 0 {
+			t.Errorf("quantum=%d: batch app did not run", quantum)
+		}
+	}
+}
+
+// TestBatchOnlySchedulerTermination pins the heap scheduler's batch-only
+// termination rule: every batch app retires at least its region of interest,
+// and apps that finish early keep contending until the last one is done.
+func TestBatchOnlySchedulerTermination(t *testing.T) {
+	cfg := testConfig()
+	b1 := smallBatch(t, "mcf")
+	b2 := smallBatch(t, "libquantum")
+	short := b1
+	short.ROIInstructions = 50_000
+	res, err := RunMix(cfg, []AppSpec{{Batch: &short, ROIInstructions: 50_000}, {Batch: &b2, ROIInstructions: 400_000}}, policy.NewUCP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := res.BatchResults()
+	if len(batch) != 2 {
+		t.Fatalf("expected 2 batch results")
+	}
+	if batch[0].Instructions < 50_000 || batch[1].Instructions < 400_000 {
+		t.Errorf("ROIs not retired: %d, %d", batch[0].Instructions, batch[1].Instructions)
+	}
+	// The short-ROI app must have kept running (contending) well past its own
+	// region of interest while the long one finished.
+	if batch[0].Instructions < 2*50_000 {
+		t.Errorf("early-finishing batch app should keep executing until the run ends, retired only %d", batch[0].Instructions)
+	}
+}
+
 func TestDeterministicRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("mix runs are slow")
 	}
+	t.Parallel()
 	a := runSmallMix(t, policy.NewStaticLC(), cpu.OutOfOrder)
 	b := runSmallMix(t, policy.NewStaticLC(), cpu.OutOfOrder)
 	if a.Cycles != b.Cycles {
@@ -359,6 +455,7 @@ func TestInOrderCoresSlower(t *testing.T) {
 	if testing.Short() {
 		t.Skip("mix runs are slow")
 	}
+	t.Parallel()
 	ooo := runSmallMix(t, policy.NewStaticLC(), cpu.OutOfOrder)
 	ino := runSmallMix(t, policy.NewStaticLC(), cpu.InOrder)
 	// In-order cores expose full miss latency, so the same workload takes

@@ -18,7 +18,7 @@ type simView struct {
 
 var _ policy.View = (*simView)(nil)
 
-func (v *simView) NumApps() int      { return len(v.s.apps) }
+func (v *simView) NumApps() int       { return len(v.s.apps) }
 func (v *simView) TotalLines() uint64 { return v.s.cfg.LLC.Lines }
 
 func (v *simView) IsLatencyCritical(app int) bool { return v.s.apps[app].isLC() }

@@ -273,8 +273,8 @@ func TestPercentileMonotonic(t *testing.T) {
 			}
 			s.Add(v)
 		}
-		pa := float64(a%101) //nolint
-		pb := float64(b%101)
+		pa := float64(a % 101) //nolint
+		pb := float64(b % 101)
 		if pa > pb {
 			pa, pb = pb, pa
 		}
