@@ -181,6 +181,24 @@ func BenchmarkFig13PartScheme(b *testing.B) {
 	}
 }
 
+// BenchmarkFig14HierarchySweep runs Ubik under every private-level hierarchy
+// configuration.
+func BenchmarkFig14HierarchySweep(b *testing.B) {
+	cfg, scale := benchConfig(), benchScale()
+	mixes := benchMixes(b)[:1]
+	ubik := experiment.StandardSchemes()[4:5]
+	for i := 0; i < b.N; i++ {
+		for _, hc := range experiment.Fig14HierarchyConfigs() {
+			runCfg := cfg
+			runCfg.Hierarchy = hc.Hier
+			baselines := experiment.NewBaselines(runCfg, scale)
+			if _, err := experiment.Sweep(runCfg, scale, baselines, mixes, ubik); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // --- Ablations --------------------------------------------------------------
 
 // BenchmarkAblationDeboost compares accurate de-boosting with waiting for the

@@ -15,21 +15,29 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cache"
 	"repro/internal/experiment"
+	"repro/internal/prof"
 	"repro/internal/sim"
 )
 
 func main() {
 	var (
-		expList     = flag.String("exp", "all", "comma-separated experiment ids (table1,table2,fig1a,fig1b,fig2,fig9,table3,fig10,fig11,fig12,fig13,abl-deboost,abl-bound,utilization) or 'all'")
+		expList     = flag.String("exp", "all", "comma-separated experiment ids (table1,table2,fig1a,fig1b,fig2,fig9,table3,fig10,fig11,fig12,fig13,fig14,abl-deboost,abl-bound,utilization) or 'all'")
 		scaleName   = flag.String("scale", "quick", "evaluation scale: quick, default, or full")
 		seed        = flag.Uint64("seed", 1, "top-level random seed")
 		parallelism = flag.Int("parallelism", 0, "worker pool size for mix sweeps, load sweeps and isolation baselines (0 = GOMAXPROCS); results are identical at any setting")
 		noShard     = flag.Bool("noshard", false, "disable sub-mix sharding (load points and isolation baselines run serially)")
 		csv         = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		list        = flag.Bool("list", false, "list available experiments and exit")
+		l1KB        = flag.Float64("l1kb", 32, "private L1 size in model KB (0 disables the level)")
+		l2KB        = flag.Float64("l2kb", 256, "private L2 size in model KB (0 disables the level)")
+		noHier      = flag.Bool("nohier", false, "disable the private L1/L2 levels entirely (flat pre-hierarchy LLC)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+	defer prof.Start(*cpuProfile, *memProfile)()
 
 	if *list {
 		fmt.Println("table1      workload parameters")
@@ -43,6 +51,7 @@ func main() {
 		fmt.Println("fig11       per-app results, in-order cores")
 		fmt.Println("fig12       Ubik slack sensitivity")
 		fmt.Println("fig13       partitioning-scheme sensitivity")
+		fmt.Println("fig14       private L1/L2 hierarchy sensitivity")
 		fmt.Println("abl-deboost ablation: accurate de-boosting")
 		fmt.Println("abl-bound   ablation: transient bounds vs exact sums")
 		fmt.Println("utilization Section 7.1 utilization estimate")
@@ -60,6 +69,10 @@ func main() {
 	}
 	cfg := sim.DefaultConfig()
 	cfg.Seed = *seed
+	cfg.Hierarchy = sim.HierarchyForKB(*l1KB, *l2KB, false)
+	if *noHier {
+		cfg.Hierarchy = cache.HierarchyConfig{}
+	}
 
 	wanted := map[string]bool{}
 	for _, e := range strings.Split(*expList, ",") {
@@ -141,6 +154,13 @@ func main() {
 		}
 		emit(tables...)
 	}
+	if want("fig14") {
+		tables, err := experiment.Fig14HierarchySweep(cfg, scale)
+		if err != nil {
+			fatal(err)
+		}
+		emit(tables...)
+	}
 	if want("abl-deboost") {
 		t, err := experiment.AblationDeboost(cfg, scale)
 		if err != nil {
@@ -174,6 +194,7 @@ func scaleByName(name string) (experiment.Scale, error) {
 }
 
 func fatal(err error) {
+	prof.Flush() // os.Exit skips main's deferred profile stop
 	fmt.Fprintln(os.Stderr, "experiments:", err)
 	os.Exit(1)
 }

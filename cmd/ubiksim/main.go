@@ -18,6 +18,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/policy"
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -34,8 +35,15 @@ func main() {
 		reqFactor   = flag.Float64("requests", 0.25, "request-count scale factor")
 		seed        = flag.Uint64("seed", 1, "random seed")
 		parallelism = flag.Int("parallelism", 0, "workers for the per-instance isolation baselines (0 = GOMAXPROCS); results are identical at any setting")
+		l1KB        = flag.Float64("l1kb", 32, "private L1 size in model KB (0 disables the level)")
+		l2KB        = flag.Float64("l2kb", 256, "private L2 size in model KB (0 disables the level)")
+		inclusive   = flag.Bool("inclusive", false, "make the private L2 inclusive of L1 (evictions back-invalidate)")
+		noHier      = flag.Bool("nohier", false, "disable the private L1/L2 levels entirely (flat pre-hierarchy LLC)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+	defer prof.Start(*cpuProfile, *memProfile)()
 	workers := *parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -43,6 +51,10 @@ func main() {
 
 	cfg := sim.DefaultConfig()
 	cfg.Seed = *seed
+	cfg.Hierarchy = sim.HierarchyForKB(*l1KB, *l2KB, *inclusive)
+	if *noHier {
+		cfg.Hierarchy = cache.HierarchyConfig{}
+	}
 
 	lc, err := workload.LCByName(*lcName)
 	if err != nil {
@@ -119,14 +131,14 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("\n%-12s %-6s %12s %12s %10s %8s\n", "app", "kind", "mean_latency", "tail95", "IPC", "missrate")
+	fmt.Printf("\n%-12s %-6s %12s %12s %10s %8s %7s %7s\n", "app", "kind", "mean_latency", "tail95", "IPC", "missrate", "l1hit", "l2hit")
 	for _, a := range res.Apps {
 		kind := "batch"
 		if a.LatencyCritical {
 			kind = "LC"
 		}
-		fmt.Printf("%-12s %-6s %12.0f %12.0f %10.3f %8.3f\n",
-			a.Name, kind, a.MeanLatency, a.TailLatency, a.IPC, a.MissRate)
+		fmt.Printf("%-12s %-6s %12.0f %12.0f %10.3f %8.3f %7.3f %7.3f\n",
+			a.Name, kind, a.MeanLatency, a.TailLatency, a.IPC, a.MissRate, a.L1HitFraction, a.L2HitFraction)
 	}
 	ws, err := res.WeightedSpeedup(batchBaselines)
 	if err != nil {
@@ -156,6 +168,7 @@ func buildPolicy(name string, slack float64) (policy.Policy, bool, error) {
 }
 
 func fatal(err error) {
+	prof.Flush() // os.Exit skips main's deferred profile stop
 	fmt.Fprintln(os.Stderr, "ubiksim:", err)
 	os.Exit(1)
 }

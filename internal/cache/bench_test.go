@@ -78,6 +78,78 @@ func BenchmarkSetAssocLRU(b *testing.B) {
 	benchAccess(b, c)
 }
 
+// newBenchHierarchy builds the default Table 2 private levels in front of the
+// paper-default Z4/52 Vantage LLC.
+func newBenchHierarchy(f func(error)) *Hierarchy {
+	llc, err := NewZCache(6144, 4, 52, ModeVantage, 6)
+	if err != nil {
+		f(err)
+	}
+	h, err := NewHierarchy(DefaultHierarchy(), llc)
+	if err != nil {
+		f(err)
+	}
+	return h
+}
+
+// BenchmarkHierarchyAccess measures the full private-L1/L2-then-LLC walk on
+// the default hierarchy, the inner loop of every hierarchical simulation. It
+// must report 0 allocs/op.
+func BenchmarkHierarchyAccess(b *testing.B) {
+	h := newBenchHierarchy(func(err error) { b.Fatal(err) })
+	addrs, pids := accessPattern(1<<14, 20000, 6)
+	mask := len(addrs) - 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(addrs[i&mask], pids[i&mask], uint64(i))
+	}
+}
+
+// BenchmarkHierarchyAccessHot measures the same walk on a working set that
+// fits the private levels, the common case the filters exist for.
+func BenchmarkHierarchyAccessHot(b *testing.B) {
+	h := newBenchHierarchy(func(err error) { b.Fatal(err) })
+	addrs, pids := accessPattern(1<<14, 64, 6)
+	mask := len(addrs) - 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(addrs[i&mask], pids[i&mask], uint64(i))
+	}
+}
+
+// TestHierarchyAccessDoesNotAllocate extends the allocation guarantee to the
+// hierarchy walk: private-level probes, fills, inclusive back-invalidation
+// and the LLC fall-through must all be allocation-free in steady state.
+func TestHierarchyAccessDoesNotAllocate(t *testing.T) {
+	llc, err := NewZCache(2048, 4, 52, ModeVantage, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultHierarchy()
+	cfg.L2.Inclusive = true
+	h, err := NewHierarchy(cfg, llc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs, pids := accessPattern(4096, 10000, 6)
+	for p := 0; p < 6; p++ {
+		llc.SetPartitionTarget(PartitionID(p), llc.NumLines()/6)
+	}
+	for i, a := range addrs {
+		h.Access(a, pids[i], uint64(i))
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(2000, func() {
+		h.Access(addrs[i&4095], pids[i&4095], uint64(i))
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("hierarchy Access allocates %.1f times per op, want 0", allocs)
+	}
+}
+
 // TestAccessDoesNotAllocate locks in the hot-path guarantee the benchmarks
 // report: steady-state Access never allocates, for any array kind or mode.
 func TestAccessDoesNotAllocate(t *testing.T) {

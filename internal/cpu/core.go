@@ -33,7 +33,10 @@ func (k Kind) String() string {
 	}
 }
 
-// Model is an analytic core-timing model.
+// Model is an analytic core-timing model with one hit latency per cache
+// level. The latencies are total (from the core), not incremental per level,
+// matching Table 2's convention: an access served by a deeper level costs
+// that level's full latency.
 type Model struct {
 	// Kind selects OOO or in-order behaviour.
 	Kind Kind
@@ -41,22 +44,66 @@ type Model struct {
 	MemLatencyCycles float64
 	// L3HitLatencyCycles is the LLC hit latency (Table 2: 20 cycles).
 	L3HitLatencyCycles float64
+	// L2HitLatencyCycles is the private L2 hit latency (Table 2: 10 cycles).
+	// Only exercised when the simulated hierarchy has private levels.
+	L2HitLatencyCycles float64
+	// L1HitLatencyCycles is the private L1 hit latency (Table 2: 4 cycles).
+	L1HitLatencyCycles float64
 }
 
 // DefaultModel returns the Table 2 configuration for the given core kind.
 func DefaultModel(kind Kind) Model {
-	return Model{Kind: kind, MemLatencyCycles: 200, L3HitLatencyCycles: 20}
+	return Model{
+		Kind: kind, MemLatencyCycles: 200, L3HitLatencyCycles: 20,
+		L2HitLatencyCycles: 10, L1HitLatencyCycles: 4,
+	}
 }
 
-// Validate reports configuration problems.
+// Validate reports configuration problems. Beyond positivity, it rejects
+// inverted latency orderings: each level must be at least as fast as the
+// level below it, and no hit may be as slow as a memory access.
 func (m Model) Validate() error {
 	if m.MemLatencyCycles <= 0 {
 		return fmt.Errorf("cpu: memory latency must be positive, got %v", m.MemLatencyCycles)
 	}
-	if m.L3HitLatencyCycles < 0 {
-		return fmt.Errorf("cpu: L3 hit latency must be non-negative, got %v", m.L3HitLatencyCycles)
+	for _, l := range []struct {
+		name  string
+		value float64
+	}{
+		{"L1", m.L1HitLatencyCycles}, {"L2", m.L2HitLatencyCycles}, {"L3", m.L3HitLatencyCycles},
+	} {
+		if l.value < 0 {
+			return fmt.Errorf("cpu: %s hit latency must be non-negative, got %v", l.name, l.value)
+		}
+	}
+	if m.L1HitLatencyCycles > m.L2HitLatencyCycles {
+		return fmt.Errorf("cpu: inverted latency ordering: L1 hit (%v) slower than L2 hit (%v)",
+			m.L1HitLatencyCycles, m.L2HitLatencyCycles)
+	}
+	if m.L2HitLatencyCycles > m.L3HitLatencyCycles {
+		return fmt.Errorf("cpu: inverted latency ordering: L2 hit (%v) slower than L3 hit (%v)",
+			m.L2HitLatencyCycles, m.L3HitLatencyCycles)
+	}
+	if m.L3HitLatencyCycles >= m.MemLatencyCycles {
+		return fmt.Errorf("cpu: inverted latency ordering: L3 hit (%v) not faster than memory (%v)",
+			m.L3HitLatencyCycles, m.MemLatencyCycles)
 	}
 	return nil
+}
+
+// LevelLatency returns the raw (unscaled) latency of an access served at the
+// given hierarchy level: 1 = L1, 2 = L2, 3 = LLC, anything else = memory.
+func (m Model) LevelLatency(level int) float64 {
+	switch level {
+	case 1:
+		return m.L1HitLatencyCycles
+	case 2:
+		return m.L2HitLatencyCycles
+	case 3:
+		return m.L3HitLatencyCycles
+	default:
+		return m.MemLatencyCycles
+	}
 }
 
 // MissPenalty returns M, the exposed cycles per LLC miss for an application
@@ -114,22 +161,68 @@ func (m Model) AccessCycles(baseCPI, apki, appMLP float64, miss bool) float64 {
 	return c + m.HitPenalty(appMLP)
 }
 
-// PerfCounters accumulates the architectural counters the Ubik runtime reads:
-// instructions, cycles, LLC accesses and misses. They are windowed by
-// subtraction, like UMON snapshots.
-type PerfCounters struct {
-	Instructions uint64
-	Cycles       uint64
-	LLCAccesses  uint64
-	LLCMisses    uint64
+// AccessCyclesAtLevel returns the total cycles one access epoch consumes when
+// the access is served at the given hierarchy level (1 = L1 hit, 2 = L2 hit,
+// 3 = LLC hit, 0 = memory): the compute time between accesses plus the
+// exposed level latency. OOO cores hide latency in proportion to the
+// application's MLP; in-order cores expose it fully — the same c / M
+// decomposition AccessCycles applies to the flat two-latency model.
+func (m Model) AccessCyclesAtLevel(baseCPI, apki, appMLP float64, level int) float64 {
+	c := m.ComputeCyclesPerAccess(baseCPI, apki)
+	lat := m.LevelLatency(level)
+	if m.Kind == InOrder {
+		return c + lat
+	}
+	if appMLP < 1 {
+		appMLP = 1
+	}
+	return c + lat/appMLP
 }
 
-// Add accumulates the counters from a single access epoch.
+// PerfCounters accumulates the architectural counters the Ubik runtime reads:
+// instructions, cycles, demand accesses, LLC accesses and misses, and private-
+// level hits. They are windowed by subtraction, like UMON snapshots.
+//
+// With private levels in front of the LLC, DemandAccesses counts every access
+// the core issues while LLCAccesses counts only the filtered stream that
+// reaches the shared cache; on a flat hierarchy the two are equal.
+type PerfCounters struct {
+	Instructions   uint64
+	Cycles         uint64
+	DemandAccesses uint64
+	LLCAccesses    uint64
+	LLCMisses      uint64
+	L1Hits         uint64
+	L2Hits         uint64
+}
+
+// Add accumulates the counters from a single flat-hierarchy access epoch
+// (every access reaches the LLC).
 func (p *PerfCounters) Add(instructions, cycles uint64, miss bool) {
 	p.Instructions += instructions
 	p.Cycles += cycles
+	p.DemandAccesses++
 	p.LLCAccesses++
 	if miss {
+		p.LLCMisses++
+	}
+}
+
+// AddAtLevel accumulates the counters from one access epoch served at the
+// given hierarchy level (1 = L1, 2 = L2, 3 = LLC, 0 = memory).
+func (p *PerfCounters) AddAtLevel(instructions, cycles uint64, level int) {
+	p.Instructions += instructions
+	p.Cycles += cycles
+	p.DemandAccesses++
+	switch level {
+	case 1:
+		p.L1Hits++
+	case 2:
+		p.L2Hits++
+	case 3:
+		p.LLCAccesses++
+	default:
+		p.LLCAccesses++
 		p.LLCMisses++
 	}
 }
@@ -137,10 +230,13 @@ func (p *PerfCounters) Add(instructions, cycles uint64, miss bool) {
 // Sub returns the counters accumulated since an earlier snapshot.
 func (p PerfCounters) Sub(since PerfCounters) PerfCounters {
 	return PerfCounters{
-		Instructions: p.Instructions - since.Instructions,
-		Cycles:       p.Cycles - since.Cycles,
-		LLCAccesses:  p.LLCAccesses - since.LLCAccesses,
-		LLCMisses:    p.LLCMisses - since.LLCMisses,
+		Instructions:   p.Instructions - since.Instructions,
+		Cycles:         p.Cycles - since.Cycles,
+		DemandAccesses: p.DemandAccesses - since.DemandAccesses,
+		LLCAccesses:    p.LLCAccesses - since.LLCAccesses,
+		LLCMisses:      p.LLCMisses - since.LLCMisses,
+		L1Hits:         p.L1Hits - since.L1Hits,
+		L2Hits:         p.L2Hits - since.L2Hits,
 	}
 }
 
@@ -158,6 +254,15 @@ func (p PerfCounters) MissRate() float64 {
 		return 0
 	}
 	return float64(p.LLCMisses) / float64(p.LLCAccesses)
+}
+
+// PrivateHitRate returns the fraction of demand accesses served by the
+// private L1/L2 levels (0 on a flat hierarchy).
+func (p PerfCounters) PrivateHitRate() float64 {
+	if p.DemandAccesses == 0 {
+		return 0
+	}
+	return float64(p.L1Hits+p.L2Hits) / float64(p.DemandAccesses)
 }
 
 // APKI returns LLC accesses per thousand instructions over the window.

@@ -34,6 +34,101 @@ func TestDefaultModelAndValidate(t *testing.T) {
 	}
 }
 
+func TestValidateRejectsInvertedLatencyOrderings(t *testing.T) {
+	// An LLC hit as slow as (or slower than) a memory access used to pass
+	// validation; it and every other inverted per-level ordering must be
+	// rejected.
+	cases := []struct {
+		name string
+		m    Model
+	}{
+		{"L3 == mem", Model{MemLatencyCycles: 200, L3HitLatencyCycles: 200}},
+		{"L3 > mem", Model{MemLatencyCycles: 200, L3HitLatencyCycles: 250}},
+		{"L2 > L3", Model{MemLatencyCycles: 200, L3HitLatencyCycles: 20, L2HitLatencyCycles: 30, L1HitLatencyCycles: 4}},
+		{"L1 > L2", Model{MemLatencyCycles: 200, L3HitLatencyCycles: 20, L2HitLatencyCycles: 10, L1HitLatencyCycles: 15}},
+		{"negative L1", Model{MemLatencyCycles: 200, L3HitLatencyCycles: 20, L1HitLatencyCycles: -1}},
+		{"negative L2", Model{MemLatencyCycles: 200, L3HitLatencyCycles: 20, L2HitLatencyCycles: -1}},
+	}
+	for _, c := range cases {
+		if err := c.m.Validate(); err == nil {
+			t.Errorf("%s should be invalid", c.name)
+		}
+	}
+	// Equal adjacent hit latencies are fine (only hit-vs-memory is strict).
+	flatish := Model{MemLatencyCycles: 200, L3HitLatencyCycles: 20, L2HitLatencyCycles: 20, L1HitLatencyCycles: 20}
+	if err := flatish.Validate(); err != nil {
+		t.Errorf("equal hit latencies should be valid: %v", err)
+	}
+	// The legacy two-latency form (zero L1/L2) stays valid.
+	legacy := Model{MemLatencyCycles: 200, L3HitLatencyCycles: 20}
+	if err := legacy.Validate(); err != nil {
+		t.Errorf("legacy two-latency model should be valid: %v", err)
+	}
+}
+
+func TestAccessCyclesAtLevel(t *testing.T) {
+	for _, k := range []Kind{OutOfOrder, InOrder} {
+		m := DefaultModel(k)
+		// Level 3 matches the flat hit cost, level 0 the flat miss cost.
+		if got, want := m.AccessCyclesAtLevel(0.7, 10, 2, 3), m.AccessCycles(0.7, 10, 2, false); got != want {
+			t.Errorf("%v: LLC-level cycles %v != flat hit cycles %v", k, got, want)
+		}
+		if got, want := m.AccessCyclesAtLevel(0.7, 10, 2, 0), m.AccessCycles(0.7, 10, 2, true); got != want {
+			t.Errorf("%v: memory-level cycles %v != flat miss cycles %v", k, got, want)
+		}
+		// Deeper levels cost strictly more under Table 2 latencies.
+		prev := 0.0
+		for _, level := range []int{1, 2, 3, 0} {
+			c := m.AccessCyclesAtLevel(0.7, 10, 2, level)
+			if c <= prev {
+				t.Errorf("%v: level %d cycles %v not above previous %v", k, level, c, prev)
+			}
+			prev = c
+		}
+	}
+	// MLP below 1 clamps on OOO cores.
+	m := DefaultModel(OutOfOrder)
+	if got, want := m.AccessCyclesAtLevel(0.7, 10, 0.25, 1), m.AccessCyclesAtLevel(0.7, 10, 1, 1); got != want {
+		t.Errorf("sub-1 MLP should clamp: %v != %v", got, want)
+	}
+	if got := m.LevelLatency(1); got != 4 {
+		t.Errorf("L1 latency = %v, want 4", got)
+	}
+	if got := m.LevelLatency(7); got != 200 {
+		t.Errorf("unknown level should cost a memory access, got %v", got)
+	}
+}
+
+func TestPerfCountersAtLevel(t *testing.T) {
+	var p PerfCounters
+	p.AddAtLevel(100, 54, 1)  // L1 hit
+	p.AddAtLevel(100, 60, 2)  // L2 hit
+	p.AddAtLevel(100, 70, 3)  // LLC hit
+	p.AddAtLevel(100, 170, 0) // memory
+	if p.DemandAccesses != 4 || p.L1Hits != 1 || p.L2Hits != 1 || p.LLCAccesses != 2 || p.LLCMisses != 1 {
+		t.Errorf("per-level counters wrong: %+v", p)
+	}
+	if p.PrivateHitRate() != 0.5 {
+		t.Errorf("private hit rate = %v, want 0.5", p.PrivateHitRate())
+	}
+	snap := p
+	p.AddAtLevel(100, 54, 1)
+	d := p.Sub(snap)
+	if d.DemandAccesses != 1 || d.L1Hits != 1 || d.LLCAccesses != 0 {
+		t.Errorf("windowed per-level counters wrong: %+v", d)
+	}
+	var empty PerfCounters
+	if empty.PrivateHitRate() != 0 {
+		t.Errorf("empty counters should report zero private hit rate")
+	}
+	// The flat Add counts every access as a demand access reaching the LLC.
+	var flat PerfCounters
+	flat.Add(100, 70, false)
+	if flat.DemandAccesses != 1 || flat.LLCAccesses != 1 || flat.PrivateHitRate() != 0 {
+		t.Errorf("flat Add counters wrong: %+v", flat)
+	}
+}
+
 func TestMissPenalty(t *testing.T) {
 	ooo := DefaultModel(OutOfOrder)
 	ino := DefaultModel(InOrder)

@@ -304,6 +304,43 @@ func TestSweepDeterministicUnderParallelism(t *testing.T) {
 	}
 }
 
+// TestFig14HierarchySweepDeterministicUnderParallelism extends the sharding
+// contract to the private-hierarchy sensitivity sweep: every hierarchy
+// configuration's row must be bit-identical at any parallelism.
+func TestFig14HierarchySweepDeterministicUnderParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps are slow")
+	}
+	if len(Fig14HierarchyConfigs()) != 5 {
+		t.Fatalf("expected 5 hierarchy configurations")
+	}
+	run := func(parallelism int, shard bool) []Table {
+		cfg := microConfig()
+		scale := microScale()
+		scale.RequestFactor = 0.02
+		scale.Parallelism = parallelism
+		scale.SubMixSharding = shard
+		tables, err := Fig14HierarchySweep(cfg, scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tables
+	}
+	serial := run(1, false)
+	sharded := run(4, true)
+	if !reflect.DeepEqual(serial, sharded) {
+		t.Errorf("sharded hierarchy sweep differs from serial:\n got  %+v\n want %+v", sharded, serial)
+	}
+	if len(serial) != 1 || len(serial[0].Rows) != 5 {
+		t.Fatalf("expected one summary table with 5 rows, got %+v", serial)
+	}
+	for _, row := range serial[0].Rows {
+		if row[1] == "" || row[3] == "" {
+			t.Errorf("hierarchy row %q missing metrics", row[0])
+		}
+	}
+}
+
 // TestFig1LoadLatencyDeterministicUnderSharding checks the sharded load sweep
 // against its serial form.
 func TestFig1LoadLatencyDeterministicUnderSharding(t *testing.T) {

@@ -338,6 +338,67 @@ func Fig13PartScheme(cfg sim.Config, scale Scale) ([]Table, error) {
 	return []Table{summary}, nil
 }
 
+// Fig14HierarchyConfigs returns the private-level configurations of the
+// hierarchy sensitivity sweep: the flat pre-hierarchy system, an L1-only
+// filter, the Table 2 defaults (non-inclusive and inclusive), and a doubled
+// hierarchy.
+func Fig14HierarchyConfigs() []struct {
+	Name string
+	Hier cache.HierarchyConfig
+} {
+	def := cache.DefaultHierarchy()
+	inclusive := def
+	inclusive.L2.Inclusive = true
+	double := cache.HierarchyConfig{
+		L1: cache.LevelConfig{Lines: def.L1.Lines * 2, Ways: def.L1.Ways},
+		L2: cache.LevelConfig{Lines: def.L2.Lines * 2, Ways: def.L2.Ways},
+	}
+	return []struct {
+		Name string
+		Hier cache.HierarchyConfig
+	}{
+		{"flat (no private levels)", cache.HierarchyConfig{}},
+		{"L1 only", cache.HierarchyConfig{L1: def.L1}},
+		{"L1+L2 Table 2", def},
+		{"L1+L2 inclusive", inclusive},
+		{"L1+L2 doubled", double},
+	}
+}
+
+// Fig14HierarchySweep is the private-cache analogue of Figure 13: Ubik (5%
+// slack) run over the mix matrix under each private-level configuration,
+// summarising tail degradation and weighted speedup per hierarchy. Baselines
+// are recomputed per configuration (isolation runs use the same private
+// levels as the mix they normalise).
+func Fig14HierarchySweep(cfg sim.Config, scale Scale) ([]Table, error) {
+	mixes, err := MixesFor(scale)
+	if err != nil {
+		return nil, err
+	}
+	summary := Table{
+		ID:     "fig14",
+		Title:  "Ubik (5% slack) under different private L1/L2 hierarchies",
+		Header: []string{"hierarchy", "avg_tail_degradation", "worst_tail_degradation", "avg_weighted_speedup"},
+	}
+	ubik := StandardSchemes()[4:5] // the Ubik scheme only
+	for _, hc := range Fig14HierarchyConfigs() {
+		runCfg := cfg
+		runCfg.Hierarchy = hc.Hier
+		baselines := NewBaselines(runCfg, scale)
+		records, err := Sweep(runCfg, scale, baselines, mixes, ubik)
+		if err != nil {
+			return nil, err
+		}
+		summary.Rows = append(summary.Rows, []string{
+			hc.Name,
+			f3(mean(records, func(r MixRecord) float64 { return r.TailDegradation })),
+			f3(maxOf(records, func(r MixRecord) float64 { return r.TailDegradation })),
+			f3(mean(records, func(r MixRecord) float64 { return r.WeightedSpeedup })),
+		})
+	}
+	return []Table{summary}, nil
+}
+
 // Table1Workloads reproduces Table 1: the latency-critical workload
 // parameters as configured in this reproduction.
 func Table1Workloads() Table {
@@ -364,9 +425,13 @@ func Table2System(cfg sim.Config) Table {
 		Rows: [][]string{
 			{"LLC", cfg.LLC.String()},
 			{"LLC lines", fmt.Sprintf("%d (stands in for 12 MB)", cfg.LLC.Lines)},
+			{"private L1", cfg.Hierarchy.L1.String()},
+			{"private L2", cfg.Hierarchy.L2.String()},
 			{"core model", cfg.Core.Kind.String()},
 			{"memory latency", f0(cfg.Core.MemLatencyCycles) + " cycles"},
 			{"L3 hit latency", f0(cfg.Core.L3HitLatencyCycles) + " cycles"},
+			{"L2 hit latency", f0(cfg.Core.L2HitLatencyCycles) + " cycles"},
+			{"L1 hit latency", f0(cfg.Core.L1HitLatencyCycles) + " cycles"},
 			{"reconfiguration interval", fmt.Sprintf("%d cycles", cfg.ReconfigIntervalCycles)},
 			{"tail percentile", f0(cfg.TailPercentile)},
 			{"UMON", fmt.Sprintf("%d ways x %d sampled sets", cfg.UMONWays, cfg.UMONSampleSets)},

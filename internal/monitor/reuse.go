@@ -5,7 +5,9 @@ package monitor
 // (0 = earlier in the same request, 1 = one request ago, ... , MaxAge+ lumped
 // together), and misses are counted separately. The profiler is fed by the
 // simulator, which stores the current request id in each cache line's
-// metadata.
+// metadata. With private L1/L2 levels configured it, like the UMON, observes
+// only the filtered stream that reaches the LLC, so the breakdown describes
+// LLC-level reuse.
 type ReuseProfiler struct {
 	// hitsByAge[i] counts hits whose line was last touched i requests ago;
 	// the last bucket aggregates everything at MaxAge or older.

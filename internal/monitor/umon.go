@@ -22,6 +22,12 @@ import (
 // Ubik extends the UMON with snapshots: the de-boosting logic compares the
 // misses a request actually suffered against the misses the UMON says it
 // would have suffered at the target allocation (Section 5.1.1).
+//
+// Like the hardware UMONs the paper attaches at the LLC, the monitor samples
+// the stream the LLC actually observes: with private L1/L2 levels configured
+// the simulator presents only L2 misses (the filtered stream), so the
+// resulting miss curves describe LLC allocations for exactly the accesses an
+// LLC allocation can affect.
 type UMON struct {
 	modelLines uint64
 	ways       int

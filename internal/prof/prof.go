@@ -1,0 +1,74 @@
+// Package prof wires the standard -cpuprofile/-memprofile flags into the
+// command-line tools, so performance work can measure the simulator instead
+// of guessing.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// active is the stop function of the profiling session in flight, so Flush
+// can finish the profiles on error paths that bypass main's defer.
+var active func()
+
+// Start begins CPU profiling to cpuPath (if non-empty) and returns an
+// idempotent stop function that ends the CPU profile and writes a heap
+// profile to memPath (if non-empty). Call it right after flag parsing and
+// defer the stop function:
+//
+//	defer prof.Start(*cpuProfile, *memProfile)()
+//
+// Error paths that exit via os.Exit (skipping defers) must call Flush first,
+// or the CPU profile is left without its trailer and the heap profile is
+// never written. Profiling failures are fatal: a perf run with a silently
+// missing profile is worse than no run.
+func Start(cpuPath, memPath string) func() {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fatal("create CPU profile", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("start CPU profile", err)
+		}
+	}
+	done := false
+	stop := func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuPath != "" {
+			pprof.StopCPUProfile()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fatal("create heap profile", err)
+			}
+			defer f.Close()
+			runtime.GC() // materialise final live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal("write heap profile", err)
+			}
+		}
+	}
+	active = stop
+	return stop
+}
+
+// Flush finishes any in-flight profiles. It is safe to call when no
+// profiling session is active, and a profile is never finished twice.
+func Flush() {
+	if active != nil {
+		active()
+	}
+}
+
+func fatal(what string, err error) {
+	fmt.Fprintf(os.Stderr, "prof: %s: %v\n", what, err)
+	os.Exit(1)
+}

@@ -110,6 +110,67 @@ func TestRecorderEmpty(t *testing.T) {
 	}
 }
 
+func TestTailPercentileEdgeCases(t *testing.T) {
+	lat := func(v uint64) *Request { return &Request{ArrivalCycle: 0, StartCycle: 0, CompletionCycle: v} }
+
+	// Zero samples: every percentile is 0, not a panic.
+	empty := NewRecorder(0)
+	for _, p := range []float64{0, 50, 95, 100} {
+		if got := empty.TailLatency(p); got != 0 {
+			t.Errorf("empty TailLatency(%v) = %v, want 0", p, got)
+		}
+	}
+
+	// One sample: every percentile is that sample.
+	one := NewRecorder(1)
+	one.Record(lat(700))
+	for _, p := range []float64{0, 50, 95, 99.9, 100} {
+		if got := one.TailLatency(p); got != 700 {
+			t.Errorf("single-sample TailLatency(%v) = %v, want 700", p, got)
+		}
+	}
+
+	// p = 100 on many samples: the tail window clamps to the last
+	// observation (the maximum), never an empty slice.
+	many := NewRecorder(10)
+	for i := uint64(1); i <= 10; i++ {
+		many.Record(lat(i * 10))
+	}
+	if got := many.TailLatency(100); got != 100 {
+		t.Errorf("TailLatency(100) = %v, want the max 100", got)
+	}
+
+	// Duplicate latencies: ties across the percentile boundary must not
+	// distort the tail mean (all observations equal => tail mean equal).
+	dup := NewRecorder(8)
+	for i := 0; i < 8; i++ {
+		dup.Record(lat(250))
+	}
+	for _, p := range []float64{50, 95, 100} {
+		if got := dup.TailLatency(p); got != 250 {
+			t.Errorf("all-duplicates TailLatency(%v) = %v, want 250", p, got)
+		}
+	}
+
+	// A mixed sample where the tail window is entirely duplicates.
+	mixed := NewRecorder(10)
+	for i := 0; i < 5; i++ {
+		mixed.Record(lat(10))
+	}
+	for i := 0; i < 5; i++ {
+		mixed.Record(lat(400))
+	}
+	if got := mixed.TailLatency(95); got != 400 {
+		t.Errorf("duplicate-tail TailLatency(95) = %v, want 400", got)
+	}
+	// Only warmups recorded behaves like an empty recorder.
+	warm := NewRecorder(2)
+	warm.Record(&Request{CompletionCycle: 123, Warmup: true})
+	if warm.TailLatency(95) != 0 || warm.Completed() != 0 {
+		t.Errorf("warmup-only recorder should report no measured tail")
+	}
+}
+
 func TestTailAtLeastMean(t *testing.T) {
 	rec := NewRecorder(100)
 	for i := 0; i < 100; i++ {

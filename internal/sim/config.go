@@ -20,6 +20,12 @@ import (
 type Config struct {
 	// LLC is the shared last-level cache configuration.
 	LLC cache.ArrayConfig
+	// Hierarchy configures each application's private L1/L2 filter levels in
+	// front of the shared LLC (Table 2's per-core caches). The zero value
+	// disables both levels and reproduces the flat single-level system
+	// bit-for-bit; with levels enabled the LLC, the UMONs and the reuse
+	// profilers all observe the L2-filtered miss stream.
+	Hierarchy cache.HierarchyConfig
 	// Core is the core-timing model (OOO by default).
 	Core cpu.Model
 	// ReconfigIntervalCycles is how often the policy's Reconfigure runs (the
@@ -55,11 +61,37 @@ type Config struct {
 // LinesFor2MB is the scaled line count standing in for a 2 MB LLC bank.
 const LinesFor2MB = 2 * workload.LinesPerMB
 
+// HierarchyForKB builds a private-level configuration from model-KB sizes
+// (the units the -l1kb/-l2kb command flags use): 0 disables a level, and
+// sizes are converted with the same LinesPerMB scaling as every other
+// capacity, rounded up to the level's associativity. inclusiveL2 selects the
+// L2 inclusion policy.
+func HierarchyForKB(l1KB, l2KB float64, inclusiveL2 bool) cache.HierarchyConfig {
+	level := func(kb float64, ways int) cache.LevelConfig {
+		if kb <= 0 {
+			return cache.LevelConfig{}
+		}
+		lines := uint64(kb * workload.LinesPerMB / 1024)
+		w := uint64(ways)
+		if lines < w {
+			lines = w
+		}
+		if rem := lines % w; rem != 0 {
+			lines += w - rem
+		}
+		return cache.LevelConfig{Lines: lines, Ways: ways}
+	}
+	cfg := cache.HierarchyConfig{L1: level(l1KB, 4), L2: level(l2KB, 8)}
+	cfg.L2.Inclusive = inclusiveL2 && cfg.L2.Enabled()
+	return cfg
+}
+
 // DefaultConfig returns the scaled Table 2 system: a 6-bank Vantage zcache LLC
 // ("12 MB"), OOO cores, 95th-percentile tails.
 func DefaultConfig() Config {
 	return Config{
 		LLC:                    cache.DefaultZ452(6*LinesFor2MB, 6),
+		Hierarchy:              cache.DefaultHierarchy(),
 		Core:                   cpu.DefaultModel(cpu.OutOfOrder),
 		ReconfigIntervalCycles: 2_000_000,
 		LCCheckAccessInterval:  32,
@@ -77,6 +109,20 @@ func DefaultConfig() Config {
 func (c Config) Validate() error {
 	if err := c.LLC.Validate(); err != nil {
 		return err
+	}
+	if err := c.Hierarchy.Validate(); err != nil {
+		return err
+	}
+	for _, l := range []struct {
+		name  string
+		lines uint64
+	}{
+		{"L1", c.Hierarchy.L1.Lines}, {"L2", c.Hierarchy.L2.Lines},
+	} {
+		if l.lines >= c.LLC.Lines {
+			return fmt.Errorf("sim: private %s (%d lines) must be smaller than the LLC (%d lines)",
+				l.name, l.lines, c.LLC.Lines)
+		}
 	}
 	if err := c.Core.Validate(); err != nil {
 		return err

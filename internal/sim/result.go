@@ -29,11 +29,17 @@ type AppResult struct {
 	// OfferedLoad is the configured load for latency-critical apps.
 	OfferedLoad float64
 
-	// Batch (and general) metrics.
+	// Batch (and general) metrics. With private levels enabled, MissRate and
+	// APKI describe the L2-filtered stream the shared LLC observes.
 	IPC          float64
 	Instructions uint64
 	MissRate     float64
 	APKI         float64
+
+	// Private-hierarchy metrics: the fraction of demand accesses served by
+	// the app's private L1 and L2 levels (both 0 on a flat configuration).
+	L1HitFraction float64
+	L2HitFraction float64
 
 	// MeanPartitionTarget is the time-averaged partition target in lines,
 	// sampled at reconfigurations (diagnostic).

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/monitor"
 	"repro/internal/queueing"
@@ -28,10 +29,17 @@ type appRuntime struct {
 
 	// Per-access cycle costs, precomputed from the core model at construction
 	// (they depend only on per-app constants, and doAccess runs once per
-	// simulated LLC access).
+	// simulated access).
 	hitCycles   uint64
 	missCycles  uint64
 	missPenalty float64
+
+	// Private cache levels (nil when the configuration has no hierarchy, in
+	// which case doAccess takes the flat single-level path) and the
+	// precomputed cycle cost of an access served at each hierarchy level,
+	// indexed by cache.LevelL1/LevelL2/LevelLLC/LevelMemory.
+	hier        *cache.Hierarchy
+	levelCycles [cache.NumLevels]uint64
 
 	// Local clock and counters.
 	clock    uint64
@@ -142,7 +150,25 @@ func newAppRuntime(idx int, spec AppSpec, cfg Config) (*appRuntime, error) {
 	a.hitCycles = uint64(cfg.Core.AccessCycles(a.baseCPI, a.apki, a.mlpFactor, false))
 	a.missCycles = uint64(cfg.Core.AccessCycles(a.baseCPI, a.apki, a.mlpFactor, true))
 	a.missPenalty = cfg.Core.MissPenalty(a.mlpFactor)
+	for level := range a.levelCycles {
+		a.levelCycles[level] = uint64(cfg.Core.AccessCyclesAtLevel(a.baseCPI, a.apki, a.mlpFactor, level))
+	}
 	return a, nil
+}
+
+// attachHierarchy gives the app its private L1/L2 levels in front of the
+// shared LLC. Called by the simulator once the LLC exists; a nil hierarchy
+// (flat configuration) leaves doAccess on the single-level path.
+func (a *appRuntime) attachHierarchy(cfg cache.HierarchyConfig, llc cache.Cache) error {
+	if !cfg.Enabled() {
+		return nil
+	}
+	h, err := cache.NewHierarchy(cfg, llc)
+	if err != nil {
+		return err
+	}
+	a.hier = h
+	return nil
 }
 
 // isLC reports whether the slot is latency-critical.

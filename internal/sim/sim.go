@@ -68,6 +68,9 @@ func New(cfg Config, specs []AppSpec, pol policy.Policy) (*Simulator, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := a.attachHierarchy(cfg.Hierarchy, llc); err != nil {
+			return nil, err
+		}
 		s.apps = append(s.apps, a)
 	}
 	s.view = &simView{s: s}
@@ -382,9 +385,19 @@ func (s *Simulator) completeRequest(a *appRuntime) {
 	}
 }
 
-// doAccess performs one LLC access for an application and advances its clock.
+// doAccess performs one memory access for an application and advances its
+// clock. With private levels attached it walks the hierarchy, and the
+// monitoring hardware (UMON, MLP and reuse profilers) observes only the
+// L2-filtered stream that reaches the shared LLC — the stream a real LLC-side
+// UMON samples. The flat path is kept byte-for-byte identical to the
+// pre-hierarchy simulator so zero-size configurations reproduce old results
+// exactly.
 func (s *Simulator) doAccess(a *appRuntime, meta uint64, instructions uint64) {
 	addr := a.stream.Next()
+	if a.hier != nil {
+		s.doHierAccess(a, addr, meta, instructions)
+		return
+	}
 	res := s.llc.Access(addr, partID(a.idx), meta)
 	miss := !res.Hit
 	cycles := a.hitCycles
@@ -403,6 +416,30 @@ func (s *Simulator) doAccess(a *appRuntime, meta uint64, instructions uint64) {
 			age = meta - res.PrevMeta
 		}
 		a.reuse.Record(res.Hit, age)
+	}
+}
+
+// doHierAccess is the hierarchy counterpart of doAccess's flat body: probe
+// the private levels, fall through to the shared LLC on an L2 miss, and feed
+// the monitors from the filtered stream only.
+func (s *Simulator) doHierAccess(a *appRuntime, addr, meta uint64, instructions uint64) {
+	res := a.hier.Access(addr, partID(a.idx), meta)
+	cycles := a.levelCycles[res.Level]
+	a.counters.AddAtLevel(instructions, cycles, res.Level)
+	a.clock += cycles
+	if !res.ReachedLLC {
+		return
+	}
+	a.umon.Access(addr)
+	if res.Level == cache.LevelMemory {
+		a.mlp.RecordMiss(a.missPenalty)
+	}
+	if a.reuse != nil {
+		age := uint64(0)
+		if res.LLC.Hit && meta >= res.LLC.PrevMeta {
+			age = meta - res.LLC.PrevMeta
+		}
+		a.reuse.Record(res.LLC.Hit, age)
 	}
 }
 
@@ -456,6 +493,10 @@ func (s *Simulator) collect() Result {
 			MissRate:        a.measuredMissRate(),
 			APKI:            a.counters.APKI(),
 			OfferedLoad:     a.spec.Load,
+		}
+		if da := a.counters.DemandAccesses; da > 0 {
+			ar.L1HitFraction = float64(a.counters.L1Hits) / float64(da)
+			ar.L2HitFraction = float64(a.counters.L2Hits) / float64(da)
 		}
 		if s.targetSampleN > 0 {
 			ar.MeanPartitionTarget = s.targetSamples[a.idx] / float64(s.targetSampleN)

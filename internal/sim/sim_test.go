@@ -479,6 +479,83 @@ func TestAlignLines(t *testing.T) {
 	}
 }
 
+func TestHierarchyConfigRejected(t *testing.T) {
+	bad := DefaultConfig()
+	bad.Hierarchy.L1 = cache.LevelConfig{Lines: 10, Ways: 4} // not a multiple of ways
+	if err := bad.Validate(); err == nil {
+		t.Errorf("invalid L1 level should be rejected")
+	}
+	bad = DefaultConfig()
+	bad.Hierarchy.L2.Lines = bad.LLC.Lines // private level as large as the LLC
+	bad.Hierarchy.L2.Ways = 8
+	if err := bad.Validate(); err == nil {
+		t.Errorf("L2 at LLC size should be rejected")
+	}
+	bad = DefaultConfig()
+	bad.Hierarchy.L2 = cache.LevelConfig{} // L1-only hierarchy...
+	bad.Hierarchy.L1.Lines = bad.LLC.Lines // ...as large as the LLC
+	if err := bad.Validate(); err == nil {
+		t.Errorf("L1-only hierarchy at LLC size should be rejected")
+	}
+	bad = DefaultConfig()
+	bad.Core.L1HitLatencyCycles = bad.Core.L2HitLatencyCycles + 1
+	if err := bad.Validate(); err == nil {
+		t.Errorf("inverted per-level core latencies should be rejected")
+	}
+}
+
+// TestHierarchyFiltersMonitoredStream checks the tentpole property end to
+// end: with private levels enabled, part of the access stream is served
+// privately (cheaper and invisible to the LLC), so the LLC-side APKI drops
+// and the per-app results report private hit fractions. The flat run of the
+// same mix must report none.
+func TestHierarchyFiltersMonitoredStream(t *testing.T) {
+	run := func(hier cache.HierarchyConfig) Result {
+		cfg := testConfig()
+		cfg.Hierarchy = hier
+		lc := smallLC(t, "masstree")
+		batch := smallBatch(t, "mcf")
+		specs := []AppSpec{
+			{LC: &lc, Load: 0.2, MeanInterarrival: 60_000, RequestFactor: 0.05},
+			{Batch: &batch},
+		}
+		res, err := RunMix(cfg, specs, policy.NewUCP())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	flat := run(cache.HierarchyConfig{})
+	hier := run(cache.DefaultHierarchy())
+	for i, a := range flat.Apps {
+		if a.L1HitFraction != 0 || a.L2HitFraction != 0 {
+			t.Errorf("flat run should have no private hits: %+v", a)
+		}
+		h := hier.Apps[i]
+		if h.L1HitFraction <= 0 {
+			t.Errorf("%s: hierarchy run should serve some accesses from L1", h.Name)
+		}
+		if h.APKI >= a.APKI {
+			t.Errorf("%s: filtered LLC APKI (%v) should be below the unfiltered APKI (%v)",
+				h.Name, h.APKI, a.APKI)
+		}
+		if h.IPC <= a.IPC {
+			t.Errorf("%s: private-level hits should raise IPC: %v vs flat %v", h.Name, h.IPC, a.IPC)
+		}
+	}
+	// Latency-critical service is faster with private levels (same requests,
+	// cheaper accesses).
+	if hier.LCResults()[0].MeanServiceTime >= flat.LCResults()[0].MeanServiceTime {
+		t.Errorf("private levels should shorten service times: %v vs flat %v",
+			hier.LCResults()[0].MeanServiceTime, flat.LCResults()[0].MeanServiceTime)
+	}
+	// And the hierarchy run is reproducible.
+	again := run(cache.DefaultHierarchy())
+	if again.Cycles != hier.Cycles || again.LCResults()[0].TailLatency != hier.LCResults()[0].TailLatency {
+		t.Errorf("hierarchy runs with the same seed should be bit-identical")
+	}
+}
+
 func TestUnstableLoadDetected(t *testing.T) {
 	// An offered load near 100% with a hard MaxCycles cap should abort rather
 	// than loop forever.

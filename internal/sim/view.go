@@ -45,6 +45,11 @@ func (v *simView) MissPenalty(app int) float64 {
 	return a.mlp.AvgMissPenalty(v.s.cfg.Core.MissPenalty(a.mlpFactor))
 }
 
+// CyclesPerAccessHit estimates the cycles between consecutive LLC accesses
+// when they hit. With private levels enabled the measured path divides the
+// window's total cycles (including private-hit epochs) by its filtered
+// LLCAccesses, which is exactly the amortised per-LLC-access cost policies
+// need when projecting time over future LLC access counts.
 func (v *simView) CyclesPerAccessHit(app int) float64 {
 	a := v.s.apps[app]
 	w := a.counters.Sub(a.countersAtReconfig)
@@ -52,6 +57,12 @@ func (v *simView) CyclesPerAccessHit(app int) float64 {
 		w = a.counters
 	}
 	if w.LLCAccesses == 0 {
+		// The app has never reached the LLC (w is already the cumulative
+		// counters here), so there is no observed private-hit ratio to
+		// amortise with; fall back to the analytic flat cost. With private
+		// levels this understates the per-LLC-access cost by the (not yet
+		// known) private-hit fraction, but only until the first monitored
+		// window, after which the measured branch takes over.
 		return v.s.cfg.Core.ComputeCyclesPerAccess(a.baseCPI, a.apki) + v.s.cfg.Core.HitPenalty(a.mlpFactor)
 	}
 	perAccess := float64(w.Cycles) / float64(w.LLCAccesses)

@@ -101,6 +101,78 @@ func TestPercentileInterpolation(t *testing.T) {
 	}
 }
 
+func TestPercentileInterpolationFractionalRanks(t *testing.T) {
+	// Four points: ranks fall between observations at most percentiles, so
+	// the closest-ranks interpolation is exercised directly.
+	s := NewSample(4)
+	s.AddAll([]float64{10, 20, 30, 40})
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{25, 17.5},  // rank 0.75 between 10 and 20
+		{50, 25},    // rank 1.5 between 20 and 30
+		{75, 32.5},  // rank 2.25 between 30 and 40
+		{90, 37},    // rank 2.7
+		{100, 40},   // clamps to max
+		{0, 10},     // clamps to min
+		{33.34, 20}, // rank ~1.0002, nearly exactly on an observation
+		{66.67, 30}, // rank ~2.0001
+	}
+	for _, c := range cases {
+		got, err := s.Percentile(c.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v): %v", c.p, err)
+		}
+		if math.Abs(got-c.want) > 0.01 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// A single observation answers every percentile with itself.
+	single := NewSample(1)
+	single.Add(42)
+	for _, p := range []float64{0, 37, 50, 99.99, 100} {
+		if got, _ := single.Percentile(p); got != 42 {
+			t.Errorf("single-sample Percentile(%v) = %v, want 42", p, got)
+		}
+	}
+	// Duplicates: interpolating between equal neighbours stays exact.
+	dup := NewSample(6)
+	dup.AddAll([]float64{5, 5, 5, 9, 9, 9})
+	if got, _ := dup.Percentile(50); math.Abs(got-7) > 1e-9 {
+		t.Errorf("Percentile(50) of {5x3,9x3} = %v, want 7 (midpoint of ranks 2 and 3)", got)
+	}
+	if got, _ := dup.Percentile(20); got != 5 {
+		t.Errorf("Percentile(20) inside the duplicate run = %v, want 5", got)
+	}
+}
+
+func TestTailMeanEdgeCases(t *testing.T) {
+	// Empty sample errors.
+	var empty Sample
+	if _, err := empty.TailMean(95); err != ErrEmpty {
+		t.Errorf("empty TailMean should return ErrEmpty, got %v", err)
+	}
+	// One observation: any percentile returns it.
+	one := NewSample(1)
+	one.Add(3)
+	for _, p := range []float64{0, 95, 100} {
+		if got, err := one.TailMean(p); err != nil || got != 3 {
+			t.Errorf("single-sample TailMean(%v) = (%v, %v), want 3", p, got, err)
+		}
+	}
+	// p = 100: the start index clamps to the last observation.
+	s := NewSample(4)
+	s.AddAll([]float64{1, 2, 3, 4})
+	if got, _ := s.TailMean(100); got != 4 {
+		t.Errorf("TailMean(100) = %v, want the max 4", got)
+	}
+	// Negative p clamps to the full mean.
+	if got, _ := s.TailMean(-10); math.Abs(got-2.5) > 1e-9 {
+		t.Errorf("TailMean(-10) = %v, want the mean 2.5", got)
+	}
+}
+
 func TestTailMean(t *testing.T) {
 	s := NewSample(100)
 	for i := 1; i <= 100; i++ {
