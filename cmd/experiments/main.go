@@ -7,11 +7,14 @@
 //	experiments -list
 //	experiments -exp table3,fig9 -scale quick
 //	experiments -exp all -scale default -csv
+//	experiments -exp fig7 -loadsched 'burst:at=8e6,dur=8e6,x=3'
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -19,51 +22,78 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/prof"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 func main() {
+	// run's own defers (profile flushing included) have already executed by
+	// the time an error reaches here.
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: it parses args, runs the selected
+// experiments, and writes their tables to stdout. Errors come back to the
+// caller (main maps them to exit status 1).
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		expList     = flag.String("exp", "all", "comma-separated experiment ids (table1,table2,fig1a,fig1b,fig2,fig9,table3,fig10,fig11,fig12,fig13,fig14,abl-deboost,abl-bound,utilization) or 'all'")
-		scaleName   = flag.String("scale", "quick", "evaluation scale: quick, default, or full")
-		seed        = flag.Uint64("seed", 1, "top-level random seed")
-		parallelism = flag.Int("parallelism", 0, "worker pool size for mix sweeps, load sweeps and isolation baselines (0 = GOMAXPROCS); results are identical at any setting")
-		noShard     = flag.Bool("noshard", false, "disable sub-mix sharding (load points and isolation baselines run serially)")
-		csv         = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		list        = flag.Bool("list", false, "list available experiments and exit")
-		l1KB        = flag.Float64("l1kb", 32, "private L1 size in model KB (0 disables the level)")
-		l2KB        = flag.Float64("l2kb", 256, "private L2 size in model KB (0 disables the level)")
-		noHier      = flag.Bool("nohier", false, "disable the private L1/L2 levels entirely (flat pre-hierarchy LLC)")
-		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		expList     = fs.String("exp", "all", "comma-separated experiment ids (table1,table2,fig1a,fig1b,fig2,fig7,flash,fig9,table3,fig10,fig11,fig12,fig13,fig14,abl-deboost,abl-bound,utilization) or 'all'")
+		scaleName   = fs.String("scale", "quick", "evaluation scale: quick, default, or full")
+		seed        = fs.Uint64("seed", 1, "top-level random seed")
+		reqOverride = fs.Float64("requests", 0, "override the scale's request-count factor (0 = scale default)")
+		loadSched   = fs.String("loadsched", "", "load schedule for the fig7 transient experiment (default: a 3x burst aligned to the stat windows); see ubiksim -loadsched for the syntax")
+		parallelism = fs.Int("parallelism", 0, "worker pool size for mix sweeps, load sweeps and isolation baselines (0 = GOMAXPROCS); results are identical at any setting")
+		noShard     = fs.Bool("noshard", false, "disable sub-mix sharding (load points and isolation baselines run serially)")
+		csv         = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		list        = fs.Bool("list", false, "list available experiments and exit")
+		l1KB        = fs.Float64("l1kb", 32, "private L1 size in model KB (0 disables the level)")
+		l2KB        = fs.Float64("l2kb", 256, "private L2 size in model KB (0 disables the level)")
+		noHier      = fs.Bool("nohier", false, "disable the private L1/L2 levels entirely (flat pre-hierarchy LLC)")
+		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed; asking for help is not a failure
+		}
+		return fmt.Errorf("invalid arguments (details above)") // the FlagSet already reported specifics
+	}
 	defer prof.Start(*cpuProfile, *memProfile)()
 
 	if *list {
-		fmt.Println("table1      workload parameters")
-		fmt.Println("table2      simulated system configuration")
-		fmt.Println("fig1a       load-latency curves per LC app")
-		fmt.Println("fig1b       service-time CDFs per LC app")
-		fmt.Println("fig2        LLC reuse breakdown at 2MB and 8MB")
-		fmt.Println("fig9        tail/speedup distributions for all schemes (also produces table3 and fig10)")
-		fmt.Println("table3      average weighted speedups per scheme")
-		fmt.Println("fig10       per-app results, OOO cores")
-		fmt.Println("fig11       per-app results, in-order cores")
-		fmt.Println("fig12       Ubik slack sensitivity")
-		fmt.Println("fig13       partitioning-scheme sensitivity")
-		fmt.Println("fig14       private L1/L2 hierarchy sensitivity")
-		fmt.Println("abl-deboost ablation: accurate de-boosting")
-		fmt.Println("abl-bound   ablation: transient bounds vs exact sums")
-		fmt.Println("utilization Section 7.1 utilization estimate")
-		return
+		fmt.Fprintln(stdout, "table1      workload parameters")
+		fmt.Fprintln(stdout, "table2      simulated system configuration")
+		fmt.Fprintln(stdout, "fig1a       load-latency curves per LC app")
+		fmt.Fprintln(stdout, "fig1b       service-time CDFs per LC app")
+		fmt.Fprintln(stdout, "fig2        LLC reuse breakdown at 2MB and 8MB")
+		fmt.Fprintln(stdout, "fig7        transient: tail latency vs time through a load burst (-loadsched)")
+		fmt.Fprintln(stdout, "flash       transient: flash-crowd recovery sweep across spike magnitudes")
+		fmt.Fprintln(stdout, "fig9        tail/speedup distributions for all schemes (also produces table3 and fig10)")
+		fmt.Fprintln(stdout, "table3      average weighted speedups per scheme")
+		fmt.Fprintln(stdout, "fig10       per-app results, OOO cores")
+		fmt.Fprintln(stdout, "fig11       per-app results, in-order cores")
+		fmt.Fprintln(stdout, "fig12       Ubik slack sensitivity")
+		fmt.Fprintln(stdout, "fig13       partitioning-scheme sensitivity")
+		fmt.Fprintln(stdout, "fig14       private L1/L2 hierarchy sensitivity")
+		fmt.Fprintln(stdout, "abl-deboost ablation: accurate de-boosting")
+		fmt.Fprintln(stdout, "abl-bound   ablation: transient bounds vs exact sums")
+		fmt.Fprintln(stdout, "utilization Section 7.1 utilization estimate")
+		return nil
 	}
 
 	scale, err := scaleByName(*scaleName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	scale.Seed = *seed
 	scale.Parallelism = *parallelism
+	if *reqOverride > 0 {
+		scale.RequestFactor = *reqOverride
+	}
 	if *noShard {
 		scale.SubMixSharding = false
 	}
@@ -72,6 +102,14 @@ func main() {
 	cfg.Hierarchy = sim.HierarchyForKB(*l1KB, *l2KB, false)
 	if *noHier {
 		cfg.Hierarchy = cache.HierarchyConfig{}
+	}
+
+	sched := experiment.DefaultFig7Schedule(cfg)
+	if *loadSched != "" {
+		sched, err = workload.ParseSchedule(*loadSched)
+		if err != nil {
+			return err
+		}
 	}
 
 	wanted := map[string]bool{}
@@ -84,9 +122,9 @@ func main() {
 	emit := func(tables ...experiment.Table) {
 		for _, t := range tables {
 			if *csv {
-				fmt.Printf("# %s: %s\n%s\n", t.ID, t.Title, t.CSV())
+				fmt.Fprintf(stdout, "# %s: %s\n%s\n", t.ID, t.Title, t.CSV())
 			} else {
-				fmt.Println(t.String())
+				fmt.Fprintln(stdout, t.String())
 			}
 		}
 	}
@@ -100,28 +138,42 @@ func main() {
 	if want("fig1a") {
 		tables, err := experiment.Fig1LoadLatency(cfg, scale)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		emit(tables...)
 	}
 	if want("fig1b") {
 		tables, err := experiment.Fig1ServiceCDF(cfg, scale)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		emit(tables...)
 	}
 	if want("fig2") {
 		tables, err := experiment.Fig2Breakdown(cfg, scale)
 		if err != nil {
-			fatal(err)
+			return err
+		}
+		emit(tables...)
+	}
+	if want("fig7") {
+		tables, err := experiment.Fig7Transient(cfg, scale, sched)
+		if err != nil {
+			return err
+		}
+		emit(tables...)
+	}
+	if want("flash") {
+		tables, err := experiment.FlashRecovery(cfg, scale)
+		if err != nil {
+			return err
 		}
 		emit(tables...)
 	}
 	if want("fig9") || want("table3") || want("fig10") {
 		records, err := experiment.RunMainComparison(cfg, scale)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if want("fig9") {
 			emit(experiment.Fig9Distributions(records)...)
@@ -136,48 +188,49 @@ func main() {
 	if want("fig11") {
 		tables, _, err := experiment.Fig11InOrder(cfg, scale)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		emit(tables...)
 	}
 	if want("fig12") {
 		tables, _, err := experiment.Fig12Slack(cfg, scale)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		emit(tables...)
 	}
 	if want("fig13") {
 		tables, err := experiment.Fig13PartScheme(cfg, scale)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		emit(tables...)
 	}
 	if want("fig14") {
 		tables, err := experiment.Fig14HierarchySweep(cfg, scale)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		emit(tables...)
 	}
 	if want("abl-deboost") {
 		t, err := experiment.AblationDeboost(cfg, scale)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		emit(t)
 	}
 	if want("abl-bound") {
 		t, err := experiment.AblationTransientBound(cfg, scale)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		emit(t)
 	}
 	if want("utilization") {
 		emit(experiment.UtilizationEstimate(0.2, 3, 6))
 	}
+	return nil
 }
 
 func scaleByName(name string) (experiment.Scale, error) {
@@ -191,10 +244,4 @@ func scaleByName(name string) (experiment.Scale, error) {
 	default:
 		return experiment.Scale{}, fmt.Errorf("unknown scale %q (want quick, default, or full)", name)
 	}
-}
-
-func fatal(err error) {
-	prof.Flush() // os.Exit skips main's deferred profile stop
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
 }

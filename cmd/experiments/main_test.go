@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunEndToEnd drives the experiments binary entry point over
+// representative flag sets, asserting error status and key output fields.
+// Simulation-backed experiments run with a tiny -requests override so the
+// table stays fast.
+func TestRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end runs are slow")
+	}
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string   // substring of the error, "" = must succeed
+		want    []string // substrings of stdout
+	}{
+		{
+			name: "list mentions every experiment",
+			args: []string{"-list"},
+			want: []string{"table1", "fig1a", "fig7", "flash", "fig14", "utilization"},
+		},
+		{
+			name: "static tables",
+			args: []string{"-exp", "table1,table2,utilization"},
+			want: []string{
+				"== table1:", "specjbb",
+				"== table2:", "private L1",
+				"== utilization:",
+			},
+		},
+		{
+			name: "static tables as csv",
+			args: []string{"-exp", "table1", "-csv"},
+			want: []string{"# table1:", "workload,apki"},
+		},
+		{
+			name: "fig7 transient with custom schedule",
+			args: []string{"-exp", "fig7", "-scale", "quick", "-requests", "0.02", "-parallelism", "2",
+				"-loadsched", "burst:at=4e6,dur=4e6,x=3"},
+			want: []string{
+				"== fig7-p95:", "== fig7-p99:", "== fig7-phase:",
+				"burst:at=4000000,dur=4000000,x=3",
+				"Ubik", "StaticLC", "transient", "recovery",
+			},
+		},
+		{
+			name:    "unknown scale fails",
+			args:    []string{"-scale", "enormous"},
+			wantErr: `unknown scale "enormous"`,
+		},
+		{
+			name:    "malformed schedule fails",
+			args:    []string{"-exp", "fig7", "-loadsched", "burst:dur=1e6"},
+			wantErr: "schedule x must be in",
+		},
+		{
+			name:    "bad flag fails",
+			args:    []string{"-nosuchflag"},
+			wantErr: "flag provided but not defined",
+		},
+	}
+	t.Run("help exits cleanly", func(t *testing.T) {
+		t.Parallel()
+		var stdout, stderr bytes.Buffer
+		if err := run([]string{"-h"}, &stdout, &stderr); err != nil {
+			t.Fatalf("-h should not be an error, got %v", err)
+		}
+		if !strings.Contains(stderr.String(), "Usage of experiments") {
+			t.Errorf("-h should print usage, got:\n%s", stderr.String())
+		}
+	})
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			var stdout, stderr bytes.Buffer
+			err := run(c.args, &stdout, &stderr)
+			if c.wantErr != "" {
+				if err == nil {
+					t.Fatalf("expected error containing %q, got success\nstdout:\n%s", c.wantErr, stdout.String())
+				}
+				if !strings.Contains(err.Error(), c.wantErr) && !strings.Contains(stderr.String(), c.wantErr) {
+					t.Fatalf("error %q (stderr %q) does not contain %q", err, stderr.String(), c.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("run(%v) failed: %v", c.args, err)
+			}
+			for _, want := range c.want {
+				if !strings.Contains(stdout.String(), want) {
+					t.Errorf("stdout missing %q:\n%s", want, stdout.String())
+				}
+			}
+		})
+	}
+}
+
+// TestRunUnknownExperimentIsSilentlyIgnored pins the (long-standing)
+// dispatch behaviour: ids that match nothing emit nothing but do not fail,
+// so scripted invocations keep working across versions.
+func TestRunUnknownExperimentIsSilentlyIgnored(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-exp", "nosuchfigure"}, &stdout, &stderr); err != nil {
+		t.Fatalf("unknown experiment id should be ignored, got %v", err)
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("unknown experiment id should emit nothing, got:\n%s", stdout.String())
+	}
+}
+
+// TestRunFig7DeterministicAcrossParallelism pins whole-binary determinism
+// for the transient experiment: byte-identical output at different
+// -parallelism settings.
+func TestRunFig7DeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end runs are slow")
+	}
+	out := func(parallelism string) string {
+		var stdout, stderr bytes.Buffer
+		args := []string{"-exp", "fig7", "-scale", "quick", "-requests", "0.02", "-parallelism", parallelism}
+		if err := run(args, &stdout, &stderr); err != nil {
+			t.Fatal(err)
+		}
+		return stdout.String()
+	}
+	a, b := out("4"), out("1")
+	if a != b {
+		t.Errorf("fig7 output differs across -parallelism:\n--- p4\n%s\n--- p1\n%s", a, b)
+	}
+}

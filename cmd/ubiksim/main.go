@@ -1,16 +1,22 @@
 // Command ubiksim runs a single workload mix (latency-critical instances plus
 // batch applications) under one cache-management scheme and prints per-
 // application latency and throughput results, including tail-latency
-// degradation against the isolated baseline.
+// degradation against the isolated baseline. With -loadsched the
+// latency-critical arrival rate varies over simulated time (bursts, ramps,
+// diurnal cycles, flash crowds, MMPP) and per-window tail latencies are
+// printed alongside the run-wide numbers.
 //
 // Example:
 //
 //	ubiksim -lc specjbb -load 0.2 -instances 3 -batch mcf,libquantum,soplex -scheme ubik -slack 0.05
+//	ubiksim -lc specjbb -load 0.2 -loadsched 'burst:at=8e6,dur=8e6,x=3'
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -25,28 +31,53 @@ import (
 )
 
 func main() {
+	// run's own defers (profile flushing included) have already executed by
+	// the time an error reaches here.
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "ubiksim:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: it parses args, runs the mix, and writes
+// human-readable results to stdout. Errors come back to the caller (main
+// maps them to exit status 1).
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ubiksim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		lcName      = flag.String("lc", "specjbb", "latency-critical application (xapian, masstree, moses, shore, specjbb)")
-		load        = flag.Float64("load", 0.2, "offered load for the latency-critical app (0,1)")
-		instances   = flag.Int("instances", 3, "number of latency-critical instances")
-		batchList   = flag.String("batch", "mcf,libquantum,soplex", "comma-separated batch applications")
-		schemeName  = flag.String("scheme", "ubik", "management scheme: lru, ucp, onoff, staticlc, ubik")
-		slack       = flag.Float64("slack", 0.05, "Ubik tail-latency slack")
-		reqFactor   = flag.Float64("requests", 0.25, "request-count scale factor")
-		seed        = flag.Uint64("seed", 1, "random seed")
-		parallelism = flag.Int("parallelism", 0, "workers for the per-instance isolation baselines (0 = GOMAXPROCS); results are identical at any setting")
-		l1KB        = flag.Float64("l1kb", 32, "private L1 size in model KB (0 disables the level)")
-		l2KB        = flag.Float64("l2kb", 256, "private L2 size in model KB (0 disables the level)")
-		inclusive   = flag.Bool("inclusive", false, "make the private L2 inclusive of L1 (evictions back-invalidate)")
-		noHier      = flag.Bool("nohier", false, "disable the private L1/L2 levels entirely (flat pre-hierarchy LLC)")
-		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		lcName      = fs.String("lc", "specjbb", "latency-critical application (xapian, masstree, moses, shore, specjbb)")
+		load        = fs.Float64("load", 0.2, "offered load for the latency-critical app (0,1)")
+		instances   = fs.Int("instances", 3, "number of latency-critical instances")
+		batchList   = fs.String("batch", "mcf,libquantum,soplex", "comma-separated batch applications")
+		schemeName  = fs.String("scheme", "ubik", "management scheme: lru, ucp, onoff, staticlc, ubik")
+		slack       = fs.Float64("slack", 0.05, "Ubik tail-latency slack")
+		reqFactor   = fs.Float64("requests", 0.25, "request-count scale factor")
+		seed        = fs.Uint64("seed", 1, "random seed")
+		loadSched   = fs.String("loadsched", "const", "time-varying load schedule for the LC instances (const, burst:at=,dur=,x=[,period=], ramp:dur=,to=[,at=,from=], diurnal:period=[,amp=], flash:at=,x=,decay=, mmpp:x=,on=,off=[,lo=]); non-constant schedules also print per-window tails")
+		parallelism = fs.Int("parallelism", 0, "workers for the per-instance isolation baselines (0 = GOMAXPROCS); results are identical at any setting")
+		l1KB        = fs.Float64("l1kb", 32, "private L1 size in model KB (0 disables the level)")
+		l2KB        = fs.Float64("l2kb", 256, "private L2 size in model KB (0 disables the level)")
+		inclusive   = fs.Bool("inclusive", false, "make the private L2 inclusive of L1 (evictions back-invalidate)")
+		noHier      = fs.Bool("nohier", false, "disable the private L1/L2 levels entirely (flat pre-hierarchy LLC)")
+		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed; asking for help is not a failure
+		}
+		return fmt.Errorf("invalid arguments (details above)") // the FlagSet already reported specifics
+	}
 	defer prof.Start(*cpuProfile, *memProfile)()
 	workers := *parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+
+	sched, err := workload.ParseSchedule(*loadSched)
+	if err != nil {
+		return err
 	}
 
 	cfg := sim.DefaultConfig()
@@ -55,10 +86,15 @@ func main() {
 	if *noHier {
 		cfg.Hierarchy = cache.HierarchyConfig{}
 	}
+	if !sched.IsConstant() {
+		// Record per-window tails at reconfiguration granularity so the
+		// transition is visible in the output.
+		cfg.LatencyWindowCycles = cfg.ReconfigIntervalCycles
+	}
 
 	lc, err := workload.LCByName(*lcName)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	var batches []workload.BatchProfile
 	for _, name := range strings.Split(*batchList, ",") {
@@ -68,31 +104,33 @@ func main() {
 		}
 		b, err := workload.BatchByName(name)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		batches = append(batches, b)
 	}
 
 	pol, unpartitioned, err := buildPolicy(*schemeName, *slack)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if unpartitioned {
 		cfg.LLC.Mode = cache.ModeLRU
 	}
 
-	fmt.Printf("Calibrating %s at %.0f%% load...\n", lc.Name, *load*100)
+	fmt.Fprintf(stdout, "Calibrating %s at %.0f%% load...\n", lc.Name, *load*100)
 	base, err := sim.MeasureLCBaseline(cfg, lc, lc.TargetLines(), *load, *reqFactor)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("  isolated: mean service %.0f cycles, mean latency %.0f, 95%% tail %.0f\n",
+	fmt.Fprintf(stdout, "  isolated: mean service %.0f cycles, mean latency %.0f, 95%% tail %.0f\n",
 		base.MeanServiceCycles, base.MeanLatency, base.TailLatency)
 
 	// Pool isolated latencies on the same instance seeds used in the mix,
 	// sharding the per-instance isolation runs across the worker pool (the
 	// pooled sample is assembled in instance order, so the output does not
-	// depend on -parallelism).
+	// depend on -parallelism). Baselines stay steady-state: the schedule
+	// applies only to the mix run, so degradation measures what the
+	// transient costs against an undisturbed isolated run.
 	seeds := make([]uint64, *instances)
 	var specs []sim.AppSpec
 	for i := range seeds {
@@ -100,11 +138,12 @@ func main() {
 		specs = append(specs, sim.AppSpec{
 			LC: &lc, Load: *load, MeanInterarrival: base.MeanInterarrival,
 			DeadlineCycles: uint64(base.TailLatency), RequestFactor: *reqFactor, Seed: seeds[i],
+			Sched: sched,
 		})
 	}
 	isoRuns, err := sim.RunIsolatedLCShards(cfg, lc, lc.TargetLines(), base.MeanInterarrival, *reqFactor, seeds, workers)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	pooledBase := stats.NewSample(256)
 	for _, iso := range isoRuns {
@@ -112,42 +151,88 @@ func main() {
 	}
 	baseTail, err := pooledBase.TailMean(cfg.TailPercentile)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	var batchBaselines []float64
 	for i := range batches {
 		ipc, err := sim.MeasureBatchBaselineIPC(cfg, batches[i], sim.LinesFor2MB, batches[i].ROIInstructions)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		batchBaselines = append(batchBaselines, ipc)
 		specs = append(specs, sim.AppSpec{Batch: &batches[i]})
 	}
 
-	fmt.Printf("Running mix under %s...\n", pol.Name())
+	if sched.IsConstant() {
+		fmt.Fprintf(stdout, "Running mix under %s...\n", pol.Name())
+	} else {
+		fmt.Fprintf(stdout, "Running mix under %s with load schedule %s...\n", pol.Name(), sched)
+	}
 	res, err := sim.RunMix(cfg, specs, pol)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	fmt.Printf("\n%-12s %-6s %12s %12s %10s %8s %7s %7s\n", "app", "kind", "mean_latency", "tail95", "IPC", "missrate", "l1hit", "l2hit")
+	fmt.Fprintf(stdout, "\n%-12s %-6s %12s %12s %10s %8s %7s %7s\n", "app", "kind", "mean_latency", "tail95", "IPC", "missrate", "l1hit", "l2hit")
 	for _, a := range res.Apps {
 		kind := "batch"
 		if a.LatencyCritical {
 			kind = "LC"
 		}
-		fmt.Printf("%-12s %-6s %12.0f %12.0f %10.3f %8.3f %7.3f %7.3f\n",
+		fmt.Fprintf(stdout, "%-12s %-6s %12.0f %12.0f %10.3f %8.3f %7.3f %7.3f\n",
 			a.Name, kind, a.MeanLatency, a.TailLatency, a.IPC, a.MissRate, a.L1HitFraction, a.L2HitFraction)
+	}
+	if !sched.IsConstant() {
+		printWindowTable(stdout, res, cfg.LatencyWindowCycles)
 	}
 	ws, err := res.WeightedSpeedup(batchBaselines)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("\npooled LC tail latency:   %.0f cycles\n", res.PooledLCTail(cfg.TailPercentile))
-	fmt.Printf("isolated pooled tail:     %.0f cycles\n", baseTail)
-	fmt.Printf("tail latency degradation: %.3fx\n", res.PooledLCTail(cfg.TailPercentile)/baseTail)
-	fmt.Printf("batch weighted speedup:   %.3fx\n", ws)
+	fmt.Fprintf(stdout, "\npooled LC tail latency:   %.0f cycles\n", res.PooledLCTail(cfg.TailPercentile))
+	fmt.Fprintf(stdout, "isolated pooled tail:     %.0f cycles\n", baseTail)
+	fmt.Fprintf(stdout, "tail latency degradation: %.3fx\n", res.PooledLCTail(cfg.TailPercentile)/baseTail)
+	fmt.Fprintf(stdout, "batch weighted speedup:   %.3fx\n", ws)
+	return nil
+}
+
+// printWindowTable renders the per-window tails of a time-varying run,
+// pooled across the latency-critical instances.
+func printWindowTable(stdout io.Writer, res sim.Result, window uint64) {
+	lcs := res.LCResults()
+	maxWin := 0
+	for _, a := range lcs {
+		if len(a.WindowSamples) > maxWin {
+			maxWin = len(a.WindowSamples)
+		}
+	}
+	if maxWin == 0 {
+		return
+	}
+	fmt.Fprintf(stdout, "\nper-window pooled LC latency (window = %d cycles):\n", window)
+	fmt.Fprintf(stdout, "%-8s %14s %9s %12s %12s %12s\n", "window", "start_cycles", "requests", "mean", "p95", "p99")
+	for w := 0; w < maxWin; w++ {
+		var parts []*stats.Sample
+		for _, a := range lcs {
+			if w < len(a.WindowSamples) {
+				parts = append(parts, a.WindowSamples[w])
+			}
+		}
+		pooled := stats.PoolWindows(parts)
+		fmt.Fprintf(stdout, "%-8d %14d %9d %12.0f %12.0f %12.0f\n",
+			w, uint64(w)*window, pooled.Len(), pooled.Mean(),
+			pooledPercentile(pooled, 95), pooledPercentile(pooled, 99))
+	}
+}
+
+// pooledPercentile is Percentile with the empty-sample error flattened to 0.
+func pooledPercentile(s *stats.Sample, p float64) float64 {
+	v, err := s.Percentile(p)
+	if err != nil {
+		return 0
+	}
+	return v
 }
 
 func buildPolicy(name string, slack float64) (policy.Policy, bool, error) {
@@ -165,10 +250,4 @@ func buildPolicy(name string, slack float64) (policy.Policy, bool, error) {
 	default:
 		return nil, false, fmt.Errorf("unknown scheme %q", name)
 	}
-}
-
-func fatal(err error) {
-	prof.Flush() // os.Exit skips main's deferred profile stop
-	fmt.Fprintln(os.Stderr, "ubiksim:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunEndToEnd drives the full binary entry point (flag parsing through
+// simulation to rendered output) over representative flag sets, asserting
+// error status and key output fields. Runs use tiny request factors so the
+// whole table stays fast.
+func TestRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end runs are slow")
+	}
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string   // substring of the error, "" = must succeed
+		want    []string // substrings of stdout
+		absent  []string // substrings stdout must not contain
+	}{
+		{
+			name: "default scheme tiny run",
+			args: []string{"-lc", "masstree", "-load", "0.2", "-instances", "1", "-batch", "mcf", "-requests", "0.03"},
+			want: []string{
+				"Calibrating masstree at 20% load",
+				"Running mix under Ubik(slack=5%)",
+				"tail latency degradation:",
+				"batch weighted speedup:",
+			},
+			absent: []string{"per-window"},
+		},
+		{
+			name: "lru on flat hierarchy",
+			args: []string{"-lc", "masstree", "-load", "0.2", "-instances", "1", "-batch", "mcf", "-requests", "0.03", "-scheme", "lru", "-nohier"},
+			want: []string{"Running mix under LRU", "pooled LC tail latency:"},
+		},
+		{
+			name: "burst schedule prints windowed tails",
+			args: []string{"-lc", "masstree", "-load", "0.2", "-instances", "2", "-batch", "mcf", "-requests", "0.05",
+				"-scheme", "staticlc", "-loadsched", "burst:at=2e6,dur=2e6,x=4"},
+			want: []string{
+				"with load schedule burst:at=2000000,dur=2000000,x=4",
+				"per-window pooled LC latency",
+				"start_cycles",
+				"tail latency degradation:",
+			},
+		},
+		{
+			name:    "unknown scheme fails",
+			args:    []string{"-scheme", "magic"},
+			wantErr: `unknown scheme "magic"`,
+		},
+		{
+			name:    "unknown lc app fails",
+			args:    []string{"-lc", "nosuchapp"},
+			wantErr: "unknown latency-critical profile",
+		},
+		{
+			name:    "unknown batch app fails",
+			args:    []string{"-batch", "mcf,nosuchbatch"},
+			wantErr: "unknown batch profile",
+		},
+		{
+			name:    "malformed schedule fails",
+			args:    []string{"-loadsched", "burst:x=4"},
+			wantErr: "schedule dur must be positive",
+		},
+		{
+			name:    "unknown schedule kind fails",
+			args:    []string{"-loadsched", "tsunami:x=4"},
+			wantErr: "unknown schedule kind",
+		},
+		{
+			name:    "bad flag fails",
+			args:    []string{"-nosuchflag"},
+			wantErr: "flag provided but not defined",
+		},
+	}
+	t.Run("help exits cleanly", func(t *testing.T) {
+		t.Parallel()
+		var stdout, stderr bytes.Buffer
+		if err := run([]string{"-h"}, &stdout, &stderr); err != nil {
+			t.Fatalf("-h should not be an error, got %v", err)
+		}
+		if !strings.Contains(stderr.String(), "Usage of ubiksim") {
+			t.Errorf("-h should print usage, got:\n%s", stderr.String())
+		}
+	})
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			var stdout, stderr bytes.Buffer
+			err := run(c.args, &stdout, &stderr)
+			if c.wantErr != "" {
+				if err == nil {
+					t.Fatalf("expected error containing %q, got success\nstdout:\n%s", c.wantErr, stdout.String())
+				}
+				if !strings.Contains(err.Error(), c.wantErr) && !strings.Contains(stderr.String(), c.wantErr) {
+					t.Fatalf("error %q (stderr %q) does not contain %q", err, stderr.String(), c.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("run(%v) failed: %v", c.args, err)
+			}
+			for _, want := range c.want {
+				if !strings.Contains(stdout.String(), want) {
+					t.Errorf("stdout missing %q:\n%s", want, stdout.String())
+				}
+			}
+			for _, absent := range c.absent {
+				if strings.Contains(stdout.String(), absent) {
+					t.Errorf("stdout should not contain %q:\n%s", absent, stdout.String())
+				}
+			}
+		})
+	}
+}
+
+// TestRunDeterministicOutput pins that two identical invocations produce
+// byte-identical output — the whole-binary determinism contract.
+func TestRunDeterministicOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end runs are slow")
+	}
+	args := []string{"-lc", "masstree", "-load", "0.2", "-instances", "2", "-batch", "mcf", "-requests", "0.03",
+		"-scheme", "ubik", "-loadsched", "flash:at=2e6,x=6,decay=1e6", "-parallelism", "2"}
+	out := func() string {
+		var stdout, stderr bytes.Buffer
+		if err := run(args, &stdout, &stderr); err != nil {
+			t.Fatal(err)
+		}
+		return stdout.String()
+	}
+	a, b := out(), out()
+	if a != b {
+		t.Errorf("repeated runs differ:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+	// And -parallelism must not change the bytes either.
+	serialArgs := append([]string{}, args...)
+	serialArgs[len(serialArgs)-1] = "1"
+	var stdout, stderr bytes.Buffer
+	if err := run(serialArgs, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if stdout.String() != a {
+		t.Errorf("output differs across -parallelism:\n--- p2\n%s\n--- p1\n%s", a, stdout.String())
+	}
+}

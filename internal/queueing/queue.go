@@ -84,11 +84,15 @@ func (q *FIFO) Peek() *Request {
 
 // Recorder collects completed requests and exposes the latency statistics the
 // paper reports: mean latency, tail latency (mean beyond a percentile), and
-// service-time distributions.
+// service-time distributions. With a window width configured it additionally
+// buckets latencies by arrival cycle, so time-varying runs can report
+// per-phase tails (during-burst vs steady-state) instead of one run-wide
+// number.
 type Recorder struct {
 	latencies    *stats.Sample
 	serviceTimes *stats.Sample
 	queueDelays  *stats.Sample
+	windows      *stats.Windowed
 	completed    uint64
 	warmups      uint64
 }
@@ -102,8 +106,21 @@ func NewRecorder(n int) *Recorder {
 	}
 }
 
+// NewRecorderWindowed returns a recorder that also buckets latencies into
+// arrival-cycle windows of the given width; windowCycles = 0 yields a plain
+// recorder (identical to NewRecorder).
+func NewRecorderWindowed(n int, windowCycles uint64) *Recorder {
+	rec := NewRecorder(n)
+	if windowCycles > 0 {
+		rec.windows = stats.NewWindowed(windowCycles)
+	}
+	return rec
+}
+
 // Record adds a completed request; warmup requests are counted but not
-// included in the statistics.
+// included in the statistics. Windowed latencies are keyed by the request's
+// arrival cycle: a request that arrived during a burst counts against the
+// burst's window even if it completed after the burst ended.
 func (rec *Recorder) Record(r *Request) {
 	if r.Warmup {
 		rec.warmups++
@@ -113,6 +130,36 @@ func (rec *Recorder) Record(r *Request) {
 	rec.latencies.Add(float64(r.Latency()))
 	rec.serviceTimes.Add(float64(r.ServiceTime()))
 	rec.queueDelays.Add(float64(r.QueueDelay()))
+	if rec.windows != nil {
+		rec.windows.Add(r.ArrivalCycle, float64(r.Latency()))
+	}
+}
+
+// WindowStats summarises the recorded latencies per arrival window (nil when
+// windowing is off). tailPercentile selects each window's TailMean.
+func (rec *Recorder) WindowStats(tailPercentile float64) []stats.WindowStat {
+	if rec.windows == nil {
+		return nil
+	}
+	return rec.windows.Stats(tailPercentile)
+}
+
+// WindowSamples returns the raw per-window latency samples backing
+// WindowStats (nil when windowing is off), for exact phase pooling across
+// windows and application instances. Read-only.
+func (rec *Recorder) WindowSamples() []*stats.Sample {
+	if rec.windows == nil {
+		return nil
+	}
+	return rec.windows.Samples()
+}
+
+// WindowCycles returns the configured window width (0 when windowing is off).
+func (rec *Recorder) WindowCycles() uint64 {
+	if rec.windows == nil {
+		return 0
+	}
+	return rec.windows.Width()
 }
 
 // Completed returns the number of measured (non-warmup) requests.

@@ -180,3 +180,57 @@ func TestTailAtLeastMean(t *testing.T) {
 		t.Errorf("tail latency (%v) should be at least the mean (%v)", rec.TailLatency(95), rec.MeanLatency())
 	}
 }
+
+// TestRecorderWindowed checks the windowed recorder: latencies bucket by
+// arrival cycle, warmups stay out, and the plain statistics are identical to
+// an unwindowed recorder fed the same requests.
+func TestRecorderWindowed(t *testing.T) {
+	plain := NewRecorder(8)
+	win := NewRecorderWindowed(8, 1000)
+	reqs := []*Request{
+		{ArrivalCycle: 0, StartCycle: 10, CompletionCycle: 110},       // window 0, latency 110
+		{ArrivalCycle: 900, StartCycle: 900, CompletionCycle: 1500},   // window 0 (arrival), latency 600
+		{ArrivalCycle: 1500, StartCycle: 1500, CompletionCycle: 1700}, // window 1
+		{ArrivalCycle: 3100, StartCycle: 3100, CompletionCycle: 3400}, // window 3 (window 2 empty)
+		{ArrivalCycle: 100, CompletionCycle: 999, Warmup: true},       // excluded
+	}
+	for _, r := range reqs {
+		plain.Record(r)
+		win.Record(r)
+	}
+	if win.MeanLatency() != plain.MeanLatency() || win.TailLatency(95) != plain.TailLatency(95) {
+		t.Errorf("windowing must not change the aggregate statistics")
+	}
+	if win.Completed() != 4 || win.Warmups() != 1 {
+		t.Errorf("completed/warmups = %d/%d, want 4/1", win.Completed(), win.Warmups())
+	}
+	if win.WindowCycles() != 1000 {
+		t.Errorf("WindowCycles = %d, want 1000", win.WindowCycles())
+	}
+	st := win.WindowStats(95)
+	if len(st) != 4 {
+		t.Fatalf("expected 4 windows, got %d", len(st))
+	}
+	if st[0].Count != 2 || st[1].Count != 1 || st[2].Count != 0 || st[3].Count != 1 {
+		t.Errorf("window counts = %d/%d/%d/%d, want 2/1/0/1", st[0].Count, st[1].Count, st[2].Count, st[3].Count)
+	}
+	if st[0].Mean != 355 { // (110 + 600) / 2
+		t.Errorf("window 0 mean = %v, want 355", st[0].Mean)
+	}
+	if samples := win.WindowSamples(); len(samples) != 4 || samples[2] != nil {
+		t.Errorf("WindowSamples shape wrong: %v", samples)
+	}
+}
+
+// TestRecorderWindowedDisabled pins that a zero width produces a recorder
+// indistinguishable from NewRecorder.
+func TestRecorderWindowedDisabled(t *testing.T) {
+	rec := NewRecorderWindowed(4, 0)
+	rec.Record(&Request{ArrivalCycle: 5, CompletionCycle: 25})
+	if rec.WindowStats(95) != nil || rec.WindowSamples() != nil || rec.WindowCycles() != 0 {
+		t.Errorf("zero window width should disable windowing")
+	}
+	if rec.MeanLatency() != 20 {
+		t.Errorf("plain statistics should still work: mean %v", rec.MeanLatency())
+	}
+}

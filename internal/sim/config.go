@@ -40,6 +40,13 @@ type Config struct {
 	CoalesceDelayCycles uint64
 	// TailPercentile is the percentile used for tail-latency metrics (95).
 	TailPercentile float64
+	// LatencyWindowCycles, when positive, buckets each latency-critical app's
+	// request latencies into arrival-cycle windows of this width and reports
+	// per-window statistics in AppResult.Windows — how time-varying load runs
+	// report during-burst vs steady-state tails. 0 (the default) disables
+	// windowed recording and leaves results identical to the pre-window
+	// simulator.
+	LatencyWindowCycles uint64
 	// UMONWays and UMONSampleSets size the per-core utility monitors.
 	UMONWays       int
 	UMONSampleSets int
@@ -142,6 +149,9 @@ func (c Config) Validate() error {
 	if c.LCCheckAccessInterval == 0 {
 		return fmt.Errorf("sim: LC check interval must be positive")
 	}
+	if c.LatencyWindowCycles > 0 && c.LatencyWindowCycles < 1024 {
+		return fmt.Errorf("sim: latency window must be 0 (off) or at least 1024 cycles, got %d", c.LatencyWindowCycles)
+	}
 	return nil
 }
 
@@ -160,6 +170,12 @@ type AppSpec struct {
 	Load float64
 	// MeanInterarrival overrides the arrival rate directly (cycles).
 	MeanInterarrival float64
+	// Sched modulates the arrival rate over simulated time (bursts, ramps,
+	// diurnal cycles, flash crowds, MMPP bursty traffic). The zero value is
+	// the constant schedule, which reproduces the plain Poisson arrival
+	// process bit for bit. Only latency-critical slots may set a
+	// non-constant schedule.
+	Sched workload.ScheduleSpec
 	// TargetLines is the latency-critical target allocation; 0 means the
 	// profile's default.
 	TargetLines uint64
@@ -203,10 +219,16 @@ func (s AppSpec) Validate() error {
 		if s.MeanInterarrival == 0 && (s.Load <= 0 || s.Load >= 1) {
 			return fmt.Errorf("sim: latency-critical app %q needs a load in (0,1) or an explicit interarrival", s.LC.Name)
 		}
+		if err := s.Sched.Validate(); err != nil {
+			return err
+		}
 	}
 	if s.Batch != nil {
 		if err := s.Batch.Validate(); err != nil {
 			return err
+		}
+		if !s.Sched.IsConstant() {
+			return fmt.Errorf("sim: batch app %q cannot have a load schedule (no arrival process)", s.Batch.Name)
 		}
 	}
 	return nil

@@ -43,6 +43,16 @@ func resultDigest(res Result) uint64 {
 		for _, frac := range a.ReuseBreakdown {
 			mixF(frac)
 		}
+		// Windowed stats are hashed only when present, so window-less runs
+		// keep the digests captured before windowed recording existed.
+		for _, w := range a.Windows {
+			mix(w.Index)
+			mix(w.Count)
+			mixF(w.Mean)
+			mixF(w.P95)
+			mixF(w.P99)
+			mixF(w.TailMean)
+		}
 	}
 	return h
 }
@@ -97,5 +107,54 @@ func TestGoldenDigestHierarchy(t *testing.T) {
 	const want = uint64(0xdb4d74909e94b33f) // Table 2 private L1/L2 in front of the LLC
 	if got != want {
 		t.Errorf("hierarchy golden digest = %#x, want %#x (numerics changed; update only if intended)", got, want)
+	}
+}
+
+// goldenBurstRun is the scenario-engine analogue of goldenRun: the same
+// fixed-seed mix driven through a 4x load burst with windowed latency
+// recording, exercising the schedule evaluator, the modulated arrival
+// process and the per-window statistics end to end.
+func goldenBurstRun(t *testing.T) Result {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Seed = 42
+	cfg.LatencyWindowCycles = 200_000
+	lc, err := workload.LCByName("masstree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := workload.BatchByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := workload.ParseSchedule("burst:at=5e5,dur=5e5,x=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []AppSpec{
+		{LC: &lc, Load: 0.2, MeanInterarrival: 60_000, DeadlineCycles: 45_000, RequestFactor: 0.05, Sched: sched},
+		{Batch: &batch, ROIInstructions: 300_000},
+	}
+	res, err := RunMix(cfg, specs, core.NewUbikWithSlack(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestGoldenDigestBurstSchedule pins the scenario engine's numerics (arrival
+// modulation plus windowed tails), so refactors cannot silently drift
+// transient results. Update the constant only when a PR intends a numeric
+// change, and say so in its CHANGES.md entry.
+func TestGoldenDigestBurstSchedule(t *testing.T) {
+	res := goldenBurstRun(t)
+	lcs := res.LCResults()
+	if len(lcs) != 1 || len(lcs[0].Windows) == 0 {
+		t.Fatalf("burst golden run should produce windowed LC stats, got %+v", lcs)
+	}
+	got := resultDigest(res)
+	const want = uint64(0x78997f0b3064a37c) // scenario engine: 4x burst + 200k-cycle windows
+	if got != want {
+		t.Errorf("burst-schedule golden digest = %#x, want %#x (transient numerics changed; update only if intended)", got, want)
 	}
 }

@@ -39,6 +39,12 @@ func isolationConfig(cfg Config, lines uint64) Config {
 	llc.Partitions = 1
 	llc.Mode = cache.ModeLRU
 	iso.LLC = llc
+	// Isolation and calibration runs are steady-state by construction (the
+	// baseline a time-varying mix is compared against), so windowed latency
+	// recording stays off even when the mix configuration enables it —
+	// calibration's enormous interarrival gaps would otherwise spread a
+	// handful of requests over millions of windows.
+	iso.LatencyWindowCycles = 0
 	return iso
 }
 

@@ -28,6 +28,17 @@ type AppResult struct {
 	ReuseBreakdown []float64
 	// OfferedLoad is the configured load for latency-critical apps.
 	OfferedLoad float64
+	// Schedule is the app's load schedule in flag syntax ("const" when
+	// steady).
+	Schedule string
+	// Windows holds per-arrival-window latency statistics when
+	// Config.LatencyWindowCycles is set (nil otherwise): the per-phase
+	// p95/p99 view of a time-varying run.
+	Windows []stats.WindowStat
+	// WindowSamples carries the raw per-window latency samples backing
+	// Windows (index-aligned, nil entries for empty windows), so phases can
+	// be pooled exactly across windows and instances. Read-only.
+	WindowSamples []*stats.Sample
 
 	// Batch (and general) metrics. With private levels enabled, MissRate and
 	// APKI describe the L2-filtered stream the shared LLC observes.

@@ -118,17 +118,31 @@ func newAppRuntime(idx int, spec AppSpec, cfg Config) (*appRuntime, error) {
 		a.reuse = monitor.NewReuseProfiler(monitor.DefaultReuseMaxAge)
 		a.toGenerate = spec.requestCount() + spec.warmupCount()
 		a.warmupRequests = spec.warmupCount()
-		a.recorder = queueing.NewRecorder(spec.requestCount())
+		a.recorder = queueing.NewRecorderWindowed(spec.requestCount(), cfg.LatencyWindowCycles)
 		interarrival := spec.MeanInterarrival
 		if interarrival <= 0 {
 			return nil, fmt.Errorf("sim: app %q has no mean interarrival; calibrate the load first", spec.Name())
 		}
-		arr, err := workload.NewPoissonArrivals(interarrival, workload.SplitSeed(seed, 7))
-		if err != nil {
-			return nil, err
+		// The constant schedule takes the plain Poisson path (identical code,
+		// identical seeds) so pre-schedule runs reproduce bit for bit; a
+		// time-varying schedule wraps the same exponential stream in the
+		// rate modulator, with the schedule's own randomness (MMPP dwells)
+		// on an independent derived seed.
+		if spec.Sched.IsConstant() {
+			arr, err := workload.NewPoissonArrivals(interarrival, workload.SplitSeed(seed, 7))
+			if err != nil {
+				return nil, err
+			}
+			a.arrivals = arr
+		} else {
+			arr, err := workload.NewModulatedArrivals(interarrival, workload.SplitSeed(seed, 7),
+				spec.Sched, workload.SplitSeed(seed, 11))
+			if err != nil {
+				return nil, err
+			}
+			a.arrivals = arr
 		}
-		a.arrivals = arr
-		a.nextArrivalRaw = arr.Next(0)
+		a.nextArrivalRaw = a.arrivals.Next(0)
 		a.nextArrivalVisible = a.nextArrivalRaw + cfg.CoalesceDelayCycles
 	} else {
 		b, err := workload.NewBatchApp(*spec.Batch, idx, seed)

@@ -511,6 +511,9 @@ func (s *Simulator) collect() Result {
 			ar.Latencies = a.recorder.Latencies()
 			ar.ServiceTimes = a.recorder.ServiceTimes()
 			ar.ReuseBreakdown = a.reuse.Breakdown()
+			ar.Schedule = a.spec.Sched.String()
+			ar.Windows = a.recorder.WindowStats(s.cfg.TailPercentile)
+			ar.WindowSamples = a.recorder.WindowSamples()
 		}
 		res.Apps = append(res.Apps, ar)
 	}
