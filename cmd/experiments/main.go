@@ -8,9 +8,11 @@
 //	experiments -exp table3,fig9 -scale quick
 //	experiments -exp all -scale default -csv
 //	experiments -exp fig7 -loadsched 'burst:at=8e6,dur=8e6,x=3'
+//	experiments -exp cluster,hetero -scale quick -json
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -41,7 +43,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		expList     = fs.String("exp", "all", "comma-separated experiment ids (table1,table2,fig1a,fig1b,fig2,fig7,flash,fig9,table3,fig10,fig11,fig12,fig13,fig14,abl-deboost,abl-bound,utilization) or 'all'")
+		expList     = fs.String("exp", "all", "comma-separated experiment ids (table1,table2,fig1a,fig1b,fig2,fig7,flash,fig9,table3,fig10,fig11,fig12,fig13,fig14,cluster,hetero,abl-deboost,abl-bound,utilization) or 'all'")
 		scaleName   = fs.String("scale", "quick", "evaluation scale: quick, default, or full")
 		seed        = fs.Uint64("seed", 1, "top-level random seed")
 		reqOverride = fs.Float64("requests", 0, "override the scale's request-count factor (0 = scale default)")
@@ -49,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		parallelism = fs.Int("parallelism", 0, "worker pool size for mix sweeps, load sweeps and isolation baselines (0 = GOMAXPROCS); results are identical at any setting")
 		noShard     = fs.Bool("noshard", false, "disable sub-mix sharding (load points and isolation baselines run serially)")
 		csv         = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		jsonOut     = fs.Bool("json", false, "emit one JSON array of all result tables instead of aligned text")
 		list        = fs.Bool("list", false, "list available experiments and exit")
 		l1KB        = fs.Float64("l1kb", 32, "private L1 size in model KB (0 disables the level)")
 		l2KB        = fs.Float64("l2kb", 256, "private L2 size in model KB (0 disables the level)")
@@ -63,6 +66,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("invalid arguments (details above)") // the FlagSet already reported specifics
 	}
 	defer prof.Start(*cpuProfile, *memProfile)()
+	if *csv && *jsonOut {
+		return fmt.Errorf("-csv and -json are mutually exclusive; pick one output format")
+	}
 
 	if *list {
 		fmt.Fprintln(stdout, "table1      workload parameters")
@@ -79,6 +85,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, "fig12       Ubik slack sensitivity")
 		fmt.Fprintln(stdout, "fig13       partitioning-scheme sensitivity")
 		fmt.Fprintln(stdout, "fig14       private L1/L2 hierarchy sensitivity")
+		fmt.Fprintln(stdout, "cluster     datacenter: query tail vs fan-out on a 4-node cluster (tail at scale)")
+		fmt.Fprintln(stdout, "hetero      datacenter: one straggler node (quarter LLC) vs cluster tail, LRU and Ubik")
 		fmt.Fprintln(stdout, "abl-deboost ablation: accurate de-boosting")
 		fmt.Fprintln(stdout, "abl-bound   ablation: transient bounds vs exact sums")
 		fmt.Fprintln(stdout, "utilization Section 7.1 utilization estimate")
@@ -119,11 +127,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	all := wanted["all"]
 	want := func(id string) bool { return all || wanted[id] }
 
+	var jsonTables []experiment.Table
 	emit := func(tables ...experiment.Table) {
 		for _, t := range tables {
-			if *csv {
+			switch {
+			case *jsonOut:
+				jsonTables = append(jsonTables, t)
+			case *csv:
 				fmt.Fprintf(stdout, "# %s: %s\n%s\n", t.ID, t.Title, t.CSV())
-			} else {
+			default:
 				fmt.Fprintln(stdout, t.String())
 			}
 		}
@@ -213,6 +225,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		emit(tables...)
 	}
+	if want("cluster") {
+		tables, err := experiment.ClusterTail(cfg, scale)
+		if err != nil {
+			return err
+		}
+		emit(tables...)
+	}
+	if want("hetero") {
+		tables, err := experiment.ClusterHetero(cfg, scale)
+		if err != nil {
+			return err
+		}
+		emit(tables...)
+	}
 	if want("abl-deboost") {
 		t, err := experiment.AblationDeboost(cfg, scale)
 		if err != nil {
@@ -229,6 +255,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if want("utilization") {
 		emit(experiment.UtilizationEstimate(0.2, 3, 6))
+	}
+	if *jsonOut {
+		// One array of every emitted table, machine-readable: the shape
+		// BENCH_cluster.json is generated with in CI.
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonTables); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -50,6 +50,27 @@ func TestRunEndToEnd(t *testing.T) {
 			},
 		},
 		{
+			name: "cluster experiment as json",
+			args: []string{"-exp", "cluster", "-scale", "quick", "-requests", "0.02", "-json"},
+			want: []string{
+				`"ID": "cluster-p95"`,
+				`"ID": "cluster-p99"`,
+				`"ID": "cluster-nodes"`,
+				"Query tail latency",
+				"Ubik",
+			},
+		},
+		{
+			name: "hetero experiment",
+			args: []string{"-exp", "hetero", "-scale", "quick", "-requests", "0.02"},
+			want: []string{"== hetero:", "straggler", "uniform", "query_p99"},
+		},
+		{
+			name:    "csv and json together fail",
+			args:    []string{"-exp", "table1", "-csv", "-json"},
+			wantErr: "-csv and -json are mutually exclusive",
+		},
+		{
 			name:    "unknown scale fails",
 			args:    []string{"-scale", "enormous"},
 			wantErr: `unknown scale "enormous"`,

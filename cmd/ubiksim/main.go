@@ -10,6 +10,13 @@
 //
 //	ubiksim -lc specjbb -load 0.2 -instances 3 -batch mcf,libquantum,soplex -scheme ubik -slack 0.05
 //	ubiksim -lc specjbb -load 0.2 -loadsched 'burst:at=8e6,dur=8e6,x=3'
+//	ubiksim -lc specjbb -load 0.2 -nodes 8 -fanout 4 -balancer p2c -hedge 0.3
+//
+// With -nodes above 1 the mix becomes a cluster: every node runs one replica
+// of the latency-critical app plus the batch set, a deterministic front-end
+// splits a global query stream across nodes (each query fans out to -fanout
+// nodes and completes at its -quorum-th response), and the reported tail is
+// the user-visible query tail.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"strings"
 
 	"repro/internal/cache"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/policy"
 	"repro/internal/prof"
@@ -55,7 +63,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		reqFactor   = fs.Float64("requests", 0.25, "request-count scale factor")
 		seed        = fs.Uint64("seed", 1, "random seed")
 		loadSched   = fs.String("loadsched", "const", "time-varying load schedule for the LC instances (const, burst:at=,dur=,x=[,period=], ramp:dur=,to=[,at=,from=], diurnal:period=[,amp=], flash:at=,x=,decay=, mmpp:x=,on=,off=[,lo=]); non-constant schedules also print per-window tails")
-		parallelism = fs.Int("parallelism", 0, "workers for the per-instance isolation baselines (0 = GOMAXPROCS); results are identical at any setting")
+		parallelism = fs.Int("parallelism", 0, "workers for the per-instance isolation baselines and per-node cluster simulations (0 = GOMAXPROCS); results are identical at any setting")
+		nodes       = fs.Int("nodes", 1, "cluster size: replica nodes, one latency-critical replica plus the batch set each (1 = plain single-node mix)")
+		fanout      = fs.Int("fanout", 1, "cluster fan-out: nodes each query touches; the query completes at its quorum-th response")
+		quorum      = fs.Int("quorum", 0, "cluster quorum: leaf responses that complete a query (0 = fanout, i.e. wait for the slowest leaf)")
+		balancer    = fs.String("balancer", "rr", "cluster balancer: rr, random, weighted, p2c")
+		hedge       = fs.Float64("hedge", 0, "cluster hedging: issue one eager duplicate per query to a spare node after this fraction of the deadline (0 disables)")
 		l1KB        = fs.Float64("l1kb", 32, "private L1 size in model KB (0 disables the level)")
 		l2KB        = fs.Float64("l2kb", 256, "private L2 size in model KB (0 disables the level)")
 		inclusive   = fs.Bool("inclusive", false, "make the private L2 inclusive of L1 (evictions back-invalidate)")
@@ -70,6 +83,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("invalid arguments (details above)") // the FlagSet already reported specifics
 	}
 	defer prof.Start(*cpuProfile, *memProfile)()
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if err := validateClusterFlags(*nodes, *fanout, *quorum, *balancer, *hedge, explicit); err != nil {
+		return err
+	}
 	workers := *parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -109,10 +127,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		batches = append(batches, b)
 	}
 
-	pol, unpartitioned, err := buildPolicy(*schemeName, *slack)
+	newPolicy, unpartitioned, err := policyFactory(*schemeName, *slack)
 	if err != nil {
 		return err
 	}
+	pol := newPolicy()
 	if unpartitioned {
 		cfg.LLC.Mode = cache.ModeLRU
 	}
@@ -124,6 +143,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "  isolated: mean service %.0f cycles, mean latency %.0f, 95%% tail %.0f\n",
 		base.MeanServiceCycles, base.MeanLatency, base.TailLatency)
+
+	if *nodes > 1 {
+		opts := clusterOptions{
+			nodes: *nodes, fanout: *fanout, quorum: *quorum,
+			balancer: cluster.BalancerKind(*balancer), hedge: *hedge,
+			load: *load, reqFactor: *reqFactor, seed: *seed, workers: workers,
+			sched: sched,
+		}
+		return runCluster(stdout, cfg, lc, batches, newPolicy, pol.Name(), base, opts)
+	}
 
 	// Pool isolated latencies on the same instance seeds used in the mix,
 	// sharding the per-instance isolation runs across the worker pool (the
@@ -235,19 +264,176 @@ func pooledPercentile(s *stats.Sample, p float64) float64 {
 	return v
 }
 
-func buildPolicy(name string, slack float64) (policy.Policy, bool, error) {
+// policyFactory maps a scheme name to a policy constructor (policies are
+// stateful: a cluster needs a fresh instance per node) plus whether the
+// scheme runs on an unpartitioned cache.
+func policyFactory(name string, slack float64) (func() policy.Policy, bool, error) {
 	switch strings.ToLower(name) {
 	case "lru":
-		return policy.NewLRU(), true, nil
+		return func() policy.Policy { return policy.NewLRU() }, true, nil
 	case "ucp":
-		return policy.NewUCP(), false, nil
+		return func() policy.Policy { return policy.NewUCP() }, false, nil
 	case "onoff":
-		return policy.NewOnOff(), false, nil
+		return func() policy.Policy { return policy.NewOnOff() }, false, nil
 	case "staticlc":
-		return policy.NewStaticLC(), false, nil
+		return func() policy.Policy { return policy.NewStaticLC() }, false, nil
 	case "ubik":
-		return core.NewUbikWithSlack(slack), false, nil
+		return func() policy.Policy { return core.NewUbikWithSlack(slack) }, false, nil
 	default:
 		return nil, false, fmt.Errorf("unknown scheme %q", name)
 	}
+}
+
+// validateClusterFlags rejects contradictory cluster flag combinations up
+// front, with errors that say how to fix them, instead of silently clamping.
+func validateClusterFlags(nodes, fanout, quorum int, balancer string, hedge float64, explicit map[string]bool) error {
+	if nodes < 1 {
+		return fmt.Errorf("-nodes must be at least 1, got %d", nodes)
+	}
+	if nodes == 1 {
+		for _, f := range []string{"fanout", "quorum", "balancer", "hedge"} {
+			if explicit[f] {
+				return fmt.Errorf("-%s is a cluster flag and would be ignored on a single-node mix; set -nodes above 1 to run a cluster", f)
+			}
+		}
+	}
+	if fanout < 1 {
+		return fmt.Errorf("-fanout must be at least 1, got %d", fanout)
+	}
+	if fanout > nodes {
+		return fmt.Errorf("-fanout %d exceeds -nodes %d: a query cannot touch more nodes than the cluster has", fanout, nodes)
+	}
+	if quorum < 0 || quorum > fanout {
+		return fmt.Errorf("-quorum %d must be in [1, -fanout %d] (0 means wait for all leaves)", quorum, fanout)
+	}
+	if hedge < 0 || hedge >= 1 {
+		return fmt.Errorf("-hedge must be a deadline fraction in [0,1), got %v", hedge)
+	}
+	if hedge > 0 {
+		if fanout == 1 {
+			return fmt.Errorf("hedging with -fanout 1 is just a wider fan-out; use -fanout 2 -quorum 1 instead of -hedge")
+		}
+		if fanout >= nodes {
+			return fmt.Errorf("hedging needs a spare node: -fanout %d already touches all %d nodes", fanout, nodes)
+		}
+	}
+	known := false
+	for _, k := range cluster.BalancerKinds() {
+		if string(k) == balancer {
+			known = true
+		}
+	}
+	if !known {
+		return fmt.Errorf("unknown balancer %q (want rr, random, weighted, or p2c)", balancer)
+	}
+	if nodes > 1 && explicit["instances"] {
+		return fmt.Errorf("-instances applies to the single-node mix; a cluster runs exactly one replica per node (drop -instances or -nodes)")
+	}
+	return nil
+}
+
+// clusterOptions carries the cluster-mode flags into runCluster.
+type clusterOptions struct {
+	nodes, fanout, quorum int
+	balancer              cluster.BalancerKind
+	hedge                 float64
+	load, reqFactor       float64
+	seed                  uint64
+	workers               int
+	sched                 workload.ScheduleSpec
+}
+
+// runCluster builds and runs the -nodes cluster: every node gets the shared
+// machine configuration with its own derived seed, one replica of the
+// latency-critical app and the batch set; the global query rate is chosen so
+// each node sees the calibrated per-node leaf rate at any fan-out (hedges add
+// their (fanout+1)/fanout load on top). Per-node request volume matches what
+// a single-node run at -requests would serve.
+func runCluster(stdout io.Writer, cfg sim.Config, lc workload.LCProfile, batches []workload.BatchProfile,
+	newPolicy func() policy.Policy, policyName string, base sim.LCBaseline, opts clusterOptions) error {
+	nodeSpecs := make([]cluster.NodeSpec, opts.nodes)
+	for i := range nodeSpecs {
+		nodeCfg := cfg
+		nodeCfg.Seed = workload.SplitSeed(opts.seed, 0xD0+uint64(i))
+		// The cluster aggregator windows query and leaf latencies itself from
+		// the plan; per-node windowed recording would duplicate that work.
+		nodeCfg.LatencyWindowCycles = 0
+		node := cluster.NodeSpec{
+			Config: nodeCfg,
+			LC: sim.AppSpec{
+				LC:               &lc,
+				Load:             opts.load,
+				MeanInterarrival: base.MeanInterarrival,
+				DeadlineCycles:   uint64(base.TailLatency),
+				Seed:             workload.SplitSeed(opts.seed, 3000+uint64(i)),
+			},
+			NewPolicy: newPolicy,
+		}
+		for b := range batches {
+			node.Batch = append(node.Batch, sim.AppSpec{Batch: &batches[b]})
+		}
+		nodeSpecs[i] = node
+	}
+	spec := cluster.Spec{
+		Nodes:            nodeSpecs,
+		Fanout:           opts.fanout,
+		Quorum:           opts.quorum,
+		Balancer:         opts.balancer,
+		Sched:            opts.sched,
+		HedgeDelayCycles: uint64(opts.hedge * base.TailLatency),
+		Seed:             opts.seed,
+		TailPercentile:   cfg.TailPercentile,
+	}
+	spec.SizeForPerNodeLoad(cluster.PerNodeRequests(lc.Requests, opts.reqFactor),
+		cluster.PerNodeWarmup(lc.WarmupRequests, opts.reqFactor), base.MeanInterarrival)
+	if !opts.sched.IsConstant() {
+		spec.WindowCycles = cfg.ReconfigIntervalCycles
+	}
+
+	if opts.sched.IsConstant() {
+		fmt.Fprintf(stdout, "Running %d-node cluster under %s: fanout %d, quorum %d, balancer %s...\n",
+			opts.nodes, policyName, spec.Fanout, specQuorum(spec), spec.Balancer)
+	} else {
+		fmt.Fprintf(stdout, "Running %d-node cluster under %s: fanout %d, quorum %d, balancer %s, load schedule %s...\n",
+			opts.nodes, policyName, spec.Fanout, specQuorum(spec), spec.Balancer, opts.sched)
+	}
+	res, err := cluster.Run(spec, opts.workers)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "\n%-6s %8s %12s %12s %12s %10s %9s\n", "node", "leaves", "leaf_mean", "leaf_p95", "leaf_p99", "lc_ipc", "llc_miss")
+	for n, nr := range res.Nodes {
+		lcRes := nr.Sim.LCResults()[0]
+		fmt.Fprintf(stdout, "%-6d %8d %12.0f %12.0f %12.0f %10.3f %9.3f\n",
+			n, nr.Leaves, nr.LeafMean, nr.LeafP95, nr.LeafP99, lcRes.IPC, lcRes.MissRate)
+	}
+	if len(res.Windows) > 0 {
+		fmt.Fprintf(stdout, "\nper-window query latency (window = %d cycles):\n", spec.WindowCycles)
+		fmt.Fprintf(stdout, "%-8s %14s %9s %12s %12s %12s\n", "window", "start_cycles", "queries", "mean", "p95", "p99")
+		for _, w := range res.Windows {
+			fmt.Fprintf(stdout, "%-8d %14d %9d %12.0f %12.0f %12.0f\n",
+				w.Index, w.StartCycle, w.Count, w.Mean, w.P95, w.P99)
+		}
+	}
+	fmt.Fprintf(stdout, "\ncluster queries:          %d\n", res.Queries)
+	fmt.Fprintf(stdout, "query mean latency:       %.0f cycles\n", res.Mean)
+	fmt.Fprintf(stdout, "query p95 latency:        %.0f cycles\n", res.P95)
+	fmt.Fprintf(stdout, "query p99 latency:        %.0f cycles\n", res.P99)
+	if spec.HedgeDelayCycles > 0 {
+		fmt.Fprintf(stdout, "hedge wins:               %d of %d queries\n", res.HedgeWins, res.Queries)
+	}
+	fmt.Fprintf(stdout, "isolated leaf tail:       %.0f cycles\n", base.TailLatency)
+	if base.TailLatency > 0 {
+		fmt.Fprintf(stdout, "query tail amplification: %.3fx (query p95 vs isolated leaf tail)\n", res.P95/base.TailLatency)
+	}
+	return nil
+}
+
+// specQuorum mirrors the spec's quorum resolution for display.
+func specQuorum(s cluster.Spec) int {
+	if s.Quorum == 0 {
+		return s.Fanout
+	}
+	return s.Quorum
 }

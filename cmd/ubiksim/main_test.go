@@ -49,6 +49,75 @@ func TestRunEndToEnd(t *testing.T) {
 			},
 		},
 		{
+			name: "cluster tiny run",
+			args: []string{"-lc", "masstree", "-load", "0.2", "-batch", "mcf", "-requests", "0.03",
+				"-scheme", "staticlc", "-nodes", "2", "-fanout", "2"},
+			want: []string{
+				"Running 2-node cluster under StaticLC: fanout 2, quorum 2, balancer rr",
+				"leaf_p95",
+				"cluster queries:",
+				"query p99 latency:",
+				"query tail amplification:",
+			},
+			absent: []string{"per-window"},
+		},
+		{
+			name: "cluster with hedging and schedule prints hedge wins and windows",
+			args: []string{"-lc", "masstree", "-load", "0.2", "-batch", "mcf", "-requests", "0.03",
+				"-scheme", "staticlc", "-nodes", "3", "-fanout", "2", "-quorum", "1", "-hedge", "0.3",
+				"-balancer", "p2c", "-loadsched", "burst:at=2e6,dur=2e6,x=3"},
+			want: []string{
+				"quorum 1, balancer p2c, load schedule burst:",
+				"hedge wins:",
+				"per-window query latency",
+			},
+		},
+		{
+			name:    "fanout beyond cluster fails",
+			args:    []string{"-nodes", "2", "-fanout", "3"},
+			wantErr: "-fanout 3 exceeds -nodes 2",
+		},
+		{
+			name:    "quorum beyond fanout fails",
+			args:    []string{"-nodes", "2", "-fanout", "2", "-quorum", "3"},
+			wantErr: "-quorum 3 must be in [1, -fanout 2]",
+		},
+		{
+			name:    "hedging a fan-out-1 query fails",
+			args:    []string{"-nodes", "2", "-hedge", "0.3"},
+			wantErr: "use -fanout 2 -quorum 1 instead",
+		},
+		{
+			name:    "hedging without a spare node fails",
+			args:    []string{"-nodes", "2", "-fanout", "2", "-hedge", "0.3"},
+			wantErr: "hedging needs a spare node",
+		},
+		{
+			name:    "hedge fraction out of range fails",
+			args:    []string{"-nodes", "3", "-fanout", "2", "-hedge", "1.5"},
+			wantErr: "deadline fraction in [0,1)",
+		},
+		{
+			name:    "instances with cluster fails",
+			args:    []string{"-nodes", "2", "-instances", "3"},
+			wantErr: "one replica per node",
+		},
+		{
+			name:    "unknown balancer fails",
+			args:    []string{"-nodes", "2", "-balancer", "magic"},
+			wantErr: `unknown balancer "magic"`,
+		},
+		{
+			name:    "zero nodes fails",
+			args:    []string{"-nodes", "0"},
+			wantErr: "-nodes must be at least 1",
+		},
+		{
+			name:    "cluster flag without cluster fails",
+			args:    []string{"-balancer", "p2c"},
+			wantErr: "set -nodes above 1 to run a cluster",
+		},
+		{
 			name:    "unknown scheme fails",
 			args:    []string{"-scheme", "magic"},
 			wantErr: `unknown scheme "magic"`,

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -19,6 +20,9 @@ import (
 )
 
 func main() {
+	requestsFlag := flag.Float64("requests", 0.2, "request-count scale factor (lower = faster)")
+	flag.Parse()
+
 	cfg := sim.DefaultConfig()
 	cfg.Seed = 7
 
@@ -26,7 +30,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	const load, requests, instances = 0.2, 0.2, 3
+	const load, instances = 0.2, 3
+	requests := *requestsFlag
 
 	base, err := sim.MeasureLCBaseline(cfg, lc, lc.TargetLines(), load, requests)
 	if err != nil {

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -16,6 +17,9 @@ import (
 )
 
 func main() {
+	requestsFlag := flag.Float64("requests", 0.25, "request-count scale factor (lower = faster)")
+	flag.Parse()
+
 	cfg := sim.DefaultConfig()
 	cfg.Seed = 42
 
@@ -24,7 +28,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	const load, requests = 0.2, 0.25
+	const load = 0.2
+	requests := *requestsFlag
 
 	// Calibrate its isolated behaviour on a private "2 MB" LLC: this gives the
 	// arrival rate for the requested load and the tail-latency deadline.

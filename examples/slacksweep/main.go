@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -15,6 +16,9 @@ import (
 )
 
 func main() {
+	requestsFlag := flag.Float64("requests", 0.25, "request-count scale factor (lower = faster)")
+	flag.Parse()
+
 	cfg := sim.DefaultConfig()
 	cfg.Seed = 21
 
@@ -22,7 +26,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	const load, requests = 0.2, 0.25
+	const load = 0.2
+	requests := *requestsFlag
 
 	base, err := sim.MeasureLCBaseline(cfg, lc, lc.TargetLines(), load, requests)
 	if err != nil {

@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+// pick runs one Pick with a fresh taken scratch and returns the choices.
+func pick(t *testing.T, b Balancer, k, n int, loads []float64) []int {
+	t.Helper()
+	taken := make([]bool, n)
+	if loads == nil {
+		loads = make([]float64, n)
+	}
+	out := b.Pick(nil, k, taken, loads)
+	seen := map[int]bool{}
+	for _, idx := range out {
+		if idx < 0 || idx >= n {
+			t.Fatalf("%s picked out-of-range node %d", b.Name(), idx)
+		}
+		if seen[idx] {
+			t.Fatalf("%s picked node %d twice in one query", b.Name(), idx)
+		}
+		seen[idx] = true
+		if !taken[idx] {
+			t.Fatalf("%s did not mark node %d taken", b.Name(), idx)
+		}
+	}
+	return out
+}
+
+func TestRoundRobinRotates(t *testing.T) {
+	b, err := NewBalancer(BalanceRoundRobin, 4, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 1}}
+	for q, w := range want {
+		if got := pick(t, b, 2, 4, nil); !reflect.DeepEqual(got, w) {
+			t.Fatalf("query %d: rr picked %v, want %v", q, got, w)
+		}
+	}
+}
+
+func TestRoundRobinHonoursTaken(t *testing.T) {
+	b, err := NewBalancer(BalanceRoundRobin, 3, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taken := []bool{false, true, false}
+	got := b.Pick(nil, 2, taken, make([]float64, 3))
+	if !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Fatalf("rr with node 1 taken picked %v, want [0 2]", got)
+	}
+	// Infeasible picks return short instead of spinning.
+	taken = []bool{true, true, true}
+	if got := b.Pick(nil, 1, taken, make([]float64, 3)); len(got) != 0 {
+		t.Fatalf("rr with every node taken picked %v, want none", got)
+	}
+}
+
+func TestSeededRandomDeterministicAndCovering(t *testing.T) {
+	runs := make([][]int, 2)
+	for r := range runs {
+		b, err := NewBalancer(BalanceRandom, 5, nil, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []int
+		for q := 0; q < 50; q++ {
+			all = append(all, pick(t, b, 2, 5, nil)...)
+		}
+		runs[r] = all
+	}
+	if !reflect.DeepEqual(runs[0], runs[1]) {
+		t.Fatal("seeded-random balancer is not deterministic for a fixed seed")
+	}
+	counts := map[int]int{}
+	for _, idx := range runs[0] {
+		counts[idx]++
+	}
+	if len(counts) != 5 {
+		t.Errorf("100 random leaves should touch all 5 nodes, touched %d", len(counts))
+	}
+}
+
+func TestWeightedFollowsCapacity(t *testing.T) {
+	b, err := NewBalancer(BalanceWeighted, 2, []float64{9, 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := [2]int{}
+	for q := 0; q < 200; q++ {
+		counts[pick(t, b, 1, 2, nil)[0]]++
+	}
+	if counts[0] <= counts[1]*3 {
+		t.Errorf("node with 9x the weight should dominate, got %v", counts)
+	}
+	if counts[1] == 0 {
+		t.Errorf("small node should still serve some leaves, got %v", counts)
+	}
+	if _, err := NewBalancer(BalanceWeighted, 2, []float64{1, 0}, 3); err == nil {
+		t.Error("zero capacity weight should be rejected")
+	}
+	if _, err := NewBalancer(BalanceWeighted, 2, []float64{1}, 3); err == nil {
+		t.Error("weight count mismatch should be rejected")
+	}
+}
+
+func TestPowerOfTwoPrefersLessLoaded(t *testing.T) {
+	b, err := NewBalancer(BalanceP2C, 4, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 2 carries far less load: every two-candidate draw that includes it
+	// must choose it, so it should win well over the uniform 1/4 share.
+	loads := []float64{100, 100, 0, 100}
+	counts := [4]int{}
+	for q := 0; q < 200; q++ {
+		counts[pick(t, b, 1, 4, loads)[0]]++
+	}
+	if counts[2] < 60 {
+		t.Errorf("p2c should route most leaves to the idle node, got %v", counts)
+	}
+}
+
+func TestNewBalancerRejectsUnknownKind(t *testing.T) {
+	if _, err := NewBalancer("magic", 2, nil, 1); err == nil {
+		t.Fatal("unknown balancer kind should be rejected")
+	}
+	if _, err := NewBalancer(BalanceRoundRobin, 0, nil, 1); err == nil {
+		t.Fatal("zero nodes should be rejected")
+	}
+	if len(BalancerKinds()) != 4 {
+		t.Fatalf("expected 4 balancer kinds, got %v", BalancerKinds())
+	}
+}

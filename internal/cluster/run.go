@@ -1,0 +1,263 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// NodeResult is one node's view of a cluster run.
+type NodeResult struct {
+	// Sim is the node's full single-node simulation result (replica slot
+	// first, then the node's batch slots).
+	Sim sim.Result
+	// Leaves is the number of measured leaf requests the node served
+	// (primaries plus hedges).
+	Leaves uint64
+	// LeafMean, LeafP95 and LeafP99 summarise the node's measured leaf
+	// latencies.
+	LeafMean, LeafP95, LeafP99 float64
+	// Windows holds the node's per-arrival-window leaf latency statistics
+	// when Spec.WindowCycles is set (nil otherwise).
+	Windows []stats.WindowStat
+}
+
+// Result is the outcome of a cluster run.
+type Result struct {
+	// Queries is the number of measured queries aggregated.
+	Queries uint64
+	// Fanout, Quorum and Balancer echo the resolved query model.
+	Fanout, Quorum int
+	Balancer       string
+	// QueryLatencies holds the measured query latencies (quorum-joined).
+	QueryLatencies *stats.Sample
+	// PerQueryLatencies holds the same latencies in query arrival order
+	// (percentile queries sort the sample's backing array in place; this
+	// slice keeps its order). Read-only.
+	PerQueryLatencies []float64
+	// Mean, P95, P99 and TailMean summarise the query latencies; TailMean is
+	// the mean beyond Spec.TailPercentile (the paper's tail metric, lifted to
+	// queries).
+	Mean, P95, P99, TailMean float64
+	// HedgeWins counts measured queries whose hedged response displaced a
+	// primary from the quorum (the hedge made the query faster).
+	HedgeWins uint64
+	// Nodes holds the per-node breakdowns, index-aligned with Spec.Nodes.
+	Nodes []NodeResult
+	// Windows and WindowSamples hold the per-arrival-window query-latency
+	// statistics when Spec.WindowCycles is set (nil otherwise); pool ranges
+	// with stats.PoolWindows exactly as for single-node windowed runs.
+	Windows       []stats.WindowStat
+	WindowSamples []*stats.Sample
+}
+
+// PerNodeRequests mirrors the simulator's request-count scaling
+// (sim.AppSpec): the measured request volume one node serves when a
+// profile's request count is scaled by factor (floored at one request).
+func PerNodeRequests(profileRequests int, factor float64) int {
+	n := int(float64(profileRequests) * factor)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// PerNodeWarmup is PerNodeRequests for warmup counts (floored at zero).
+func PerNodeWarmup(profileWarmup int, factor float64) int {
+	n := int(float64(profileWarmup) * factor)
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// SizeForPerNodeLoad fills the spec's query volume and global rate so every
+// node serves perNodeRequests measured leaves (plus warmup) at the given
+// mean leaf interarrival, whatever the fan-out: with M nodes and fan-out k,
+// queries scale by M/k and the global query rate is M/k times the per-node
+// leaf rate. Nodes and Fanout must be set first. Both command front-ends
+// size their clusters through this one helper so CLI and experiment runs
+// cannot drift apart.
+func (s *Spec) SizeForPerNodeLoad(perNodeRequests, perNodeWarmup int, leafMeanInterarrival float64) {
+	m, k := len(s.Nodes), s.Fanout
+	q := perNodeRequests * m / k
+	if q < 1 {
+		q = 1
+	}
+	s.Queries = q
+	s.WarmupQueries = perNodeWarmup * m / k
+	s.QueryMeanInterarrival = leafMeanInterarrival * float64(k) / float64(m)
+}
+
+// Run plans, simulates and aggregates a cluster: the serial front-end builds
+// the query plan, the M node simulations run independently over at most
+// parallelism workers (<= 1 runs inline), and the serial aggregator joins
+// leaf latencies into query latencies. Results are bit-identical at any
+// parallelism.
+func Run(spec Spec, parallelism int) (Result, error) {
+	if err := spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	plan, err := buildPlan(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	m := len(spec.Nodes)
+	results := make([]sim.Result, m)
+	if err := parallel.For(m, parallelism, func(n int) error {
+		node := spec.Nodes[n]
+		times := plan.nodeTimes[n]
+		warmup := plan.nodeWarmup[n]
+		measured := len(times) - warmup
+		if measured < 1 {
+			return fmt.Errorf("cluster: node %d received no measured leaves (only %d warmup); raise Queries or rebalance", n, warmup)
+		}
+		lc := node.LC
+		lc.Arrivals = workload.NewReplayArrivals(times)
+		lc.ExplicitRequests = measured
+		lc.ExplicitWarmup = warmup
+		lc.Sched = workload.ScheduleSpec{} // the replayed stream already carries the global schedule
+		specs := make([]sim.AppSpec, 0, 1+len(node.Batch))
+		specs = append(specs, lc)
+		specs = append(specs, node.Batch...)
+		res, err := sim.RunMix(node.Config, specs, node.NewPolicy())
+		if err != nil {
+			return fmt.Errorf("cluster: node %d: %w", n, err)
+		}
+		results[n] = res
+		return nil
+	}); err != nil {
+		return Result{}, err
+	}
+	return aggregate(spec, plan, results)
+}
+
+// aggregate joins per-node leaf latencies into query latencies and builds the
+// cluster result. Serial and allocation-light: this is the fan-out hot path
+// the cluster benchmark pins.
+func aggregate(spec Spec, plan *queryPlan, results []sim.Result) (Result, error) {
+	m := len(spec.Nodes)
+	quorum := spec.quorum()
+	// Per-node measured leaf latencies in leaf order (the simulator's
+	// request-ID order), offset by the node's warmup prefix.
+	leafLat := make([][]float64, m)
+	for n := 0; n < m; n++ {
+		lcs := results[n].LCResults()
+		if len(lcs) != 1 {
+			return Result{}, fmt.Errorf("cluster: node %d produced %d latency-critical results, want 1", n, len(lcs))
+		}
+		leafLat[n] = lcs[0].RequestLatencies
+		if want := len(plan.nodeTimes[n]) - plan.nodeWarmup[n]; len(leafLat[n]) != want {
+			return Result{}, fmt.Errorf("cluster: node %d recorded %d measured leaves, want %d", n, len(leafLat[n]), want)
+		}
+	}
+	latOf := func(ref leafRef) float64 {
+		return leafLat[ref.node][int(ref.index)-plan.nodeWarmup[ref.node]]
+	}
+
+	res := Result{
+		Fanout:         spec.Fanout,
+		Quorum:         quorum,
+		Balancer:       string(spec.Balancer),
+		QueryLatencies: stats.NewSample(spec.Queries),
+		Nodes:          make([]NodeResult, m),
+	}
+	var queryWindows *stats.Windowed
+	nodeWindows := make([]*stats.Windowed, m)
+	if spec.WindowCycles > 0 {
+		queryWindows = stats.NewWindowed(spec.WindowCycles)
+		for n := range nodeWindows {
+			nodeWindows[n] = stats.NewWindowed(spec.WindowCycles)
+		}
+	}
+
+	total := spec.WarmupQueries + spec.Queries
+	cands := make([]float64, 0, spec.Fanout+1)
+	hedgeDelay := float64(spec.HedgeDelayCycles)
+	for q := spec.WarmupQueries; q < total; q++ {
+		cands = cands[:0]
+		for _, ref := range plan.primaries[q] {
+			cands = append(cands, latOf(ref))
+		}
+		lat := kthSmallest(cands, quorum)
+		if h := plan.hedges[q]; h.node >= 0 {
+			cands = append(cands, hedgeDelay+latOf(h))
+			if hedged := kthSmallest(cands, quorum); hedged < lat {
+				lat = hedged
+				res.HedgeWins++
+			}
+		}
+		res.QueryLatencies.Add(lat)
+		res.PerQueryLatencies = append(res.PerQueryLatencies, lat)
+		if queryWindows != nil {
+			queryWindows.Add(plan.arrivals[q], lat)
+		}
+	}
+	res.Queries = uint64(res.QueryLatencies.Len())
+
+	// Per-node breakdowns over measured leaves (including hedge leaves: they
+	// are real served requests).
+	for n := 0; n < m; n++ {
+		leafSample := stats.NewSample(len(leafLat[n]))
+		leafSample.AddAll(leafLat[n])
+		nr := NodeResult{
+			Sim:      results[n],
+			Leaves:   uint64(leafSample.Len()),
+			LeafMean: leafSample.Mean(),
+			LeafP95:  percentileOrZero(leafSample, 95),
+			LeafP99:  percentileOrZero(leafSample, 99),
+		}
+		if nodeWindows[n] != nil {
+			for i, t := range plan.nodeTimes[n] {
+				if i >= plan.nodeWarmup[n] {
+					nodeWindows[n].Add(t, leafLat[n][i-plan.nodeWarmup[n]])
+				}
+			}
+			nr.Windows = nodeWindows[n].Stats(spec.tailPercentile())
+		}
+		res.Nodes[n] = nr
+	}
+
+	res.Mean = res.QueryLatencies.Mean()
+	res.P95 = percentileOrZero(res.QueryLatencies, 95)
+	res.P99 = percentileOrZero(res.QueryLatencies, 99)
+	if tm, err := res.QueryLatencies.TailMean(spec.tailPercentile()); err == nil {
+		res.TailMean = tm
+	}
+	if queryWindows != nil {
+		res.Windows = queryWindows.Stats(spec.tailPercentile())
+		res.WindowSamples = queryWindows.Samples()
+	}
+	return res, nil
+}
+
+// kthSmallest returns the k-th smallest value (1-based) of vals without
+// allocating, using insertion sort — fan-outs are tiny (a handful of leaves),
+// where insertion sort beats any general algorithm. vals is reordered.
+func kthSmallest(vals []float64, k int) float64 {
+	for i := 1; i < len(vals); i++ {
+		v := vals[i]
+		j := i - 1
+		for j >= 0 && vals[j] > v {
+			vals[j+1] = vals[j]
+			j--
+		}
+		vals[j+1] = v
+	}
+	if k > len(vals) {
+		k = len(vals)
+	}
+	return vals[k-1]
+}
+
+// percentileOrZero flattens the empty-sample error to 0.
+func percentileOrZero(s *stats.Sample, p float64) float64 {
+	v, err := s.Percentile(p)
+	if err != nil {
+		return 0
+	}
+	return v
+}

@@ -150,3 +150,75 @@ func TestMatrixAndSample(t *testing.T) {
 		t.Errorf("huge n should return everything")
 	}
 }
+
+// TestMatrixEdgeCases covers the degenerate mix matrices: empty inputs on
+// either axis, a single-cell matrix, and name rendering for unusual shapes.
+func TestMatrixEdgeCases(t *testing.T) {
+	batches, err := BatchMixes(1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lcs := LCConfigs(3)
+
+	if got := Matrix(nil, batches); len(got) != 0 {
+		t.Errorf("no LC configs should give an empty matrix, got %d mixes", len(got))
+	}
+	if got := Matrix(lcs, nil); len(got) != 0 {
+		t.Errorf("no batch mixes should give an empty matrix, got %d mixes", len(got))
+	}
+	single := Matrix(lcs[:1], batches[:1])
+	if len(single) != 1 || single[0].ID != 0 {
+		t.Fatalf("single-cell matrix wrong: %+v", single)
+	}
+	if single[0].Name() == "" || single[0].LC.Name() == "" {
+		t.Errorf("single mix should render names, got %q", single[0].Name())
+	}
+}
+
+// TestSampleEdgeCases covers sampling from degenerate matrices.
+func TestSampleEdgeCases(t *testing.T) {
+	if got := Sample(nil, 10, 1); len(got) != 0 {
+		t.Errorf("sampling an empty matrix should stay empty, got %d", len(got))
+	}
+	batches, err := BatchMixes(1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := Matrix(LCConfigs(3)[:1], batches[:1])
+	if got := Sample(one, 1, 1); len(got) != 1 || got[0].ID != one[0].ID {
+		t.Errorf("sampling 1 of 1 should return the mix, got %v", got)
+	}
+	// Fewer requested mixes than LC groups still keeps one per group.
+	all := Matrix(LCConfigs(3), batches)
+	small := Sample(all, 3, 1)
+	groups := map[string]bool{}
+	for _, m := range small {
+		groups[m.LC.Name()] = true
+	}
+	if len(groups) != 10 {
+		t.Errorf("under-sampling should keep every LC configuration, covered %d", len(groups))
+	}
+}
+
+// TestBatchMixNames covers batch-mix naming for single-app and all-batch
+// shapes (the cluster layer builds such ad-hoc mixes for its nodes).
+func TestBatchMixNames(t *testing.T) {
+	p, err := workload.BatchByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := BatchMix{Signature: "n", Apps: []workload.BatchProfile{p}}
+	if single.Name() != "n([mcf])" {
+		t.Errorf("single-app batch mix name = %q", single.Name())
+	}
+	empty := BatchMix{Signature: "none"}
+	if empty.Name() != "none([])" {
+		t.Errorf("empty batch mix name = %q", empty.Name())
+	}
+	// An all-batch "mix" at the Mix level renders without an LC name only
+	// through its components; LCConfig zero value should not panic.
+	var zero LCConfig
+	if zero.Name() != "/" {
+		t.Errorf("zero LC config name = %q", zero.Name())
+	}
+}

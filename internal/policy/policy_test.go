@@ -348,3 +348,64 @@ func TestUCPZeroBucketsDefaults(t *testing.T) {
 		t.Errorf("OnOff with zero Buckets should still work")
 	}
 }
+
+// cliffCurve builds a miss curve that stays at misses until the cliff
+// allocation and drops to floor beyond it — zero marginal utility for any
+// single bucket below the cliff, large utility for a chunk that crosses it.
+func cliffCurve(totalLines, cliff uint64, misses, floor, accesses float64) monitor.MissCurve {
+	points := 65
+	c := monitor.MissCurve{TotalLines: totalLines, Accesses: accesses, Misses: make([]float64, points)}
+	for i := 0; i < points; i++ {
+		lines := float64(i) / float64(points-1) * float64(totalLines)
+		if lines < float64(cliff) {
+			c.Misses[i] = misses
+		} else {
+			c.Misses[i] = floor
+		}
+	}
+	return c
+}
+
+// TestLookaheadCrossesUtilityCliffs pins the defining property of Lookahead
+// over greedy hill-climbing (Qureshi & Patt): an application whose utility
+// only materialises past a cliff still wins the space, because every feasible
+// chunk size is scanned for the best marginal utility per line.
+func TestLookaheadCrossesUtilityCliffs(t *testing.T) {
+	curves := []policy.WeightedCurve{
+		{Curve: cliffCurve(1024, 512, 1000, 10, 1000), Weight: 100},
+		{Curve: policytest.LinearCurve(1024, 1024, 100, 90, 1000), Weight: 1},
+	}
+	alloc := policy.Lookahead(curves, 1024, 16)
+	if alloc[0] < 512 {
+		t.Errorf("cliff app got %d lines, want at least the 512-line cliff", alloc[0])
+	}
+}
+
+// TestLookaheadAllCapped exercises the leftover-spread exit: when every
+// application is capped below the budget, the spread loop must terminate and
+// never push an allocation past its cap.
+func TestLookaheadAllCapped(t *testing.T) {
+	curves := []policy.WeightedCurve{
+		{Curve: policytest.LinearCurve(1024, 1024, 1000, 0, 1000), Weight: 1, Max: 64},
+		{Curve: policytest.LinearCurve(1024, 1024, 1000, 0, 1000), Weight: 1, Max: 32},
+	}
+	alloc := policy.Lookahead(curves, 1024, 16)
+	if alloc[0] > 64 || alloc[1] > 32 {
+		t.Errorf("caps violated: %v", alloc)
+	}
+	if alloc[0]+alloc[1] > 1024 {
+		t.Errorf("budget violated: %v", alloc)
+	}
+}
+
+// TestLookaheadBucketLargerThanBudget: a bucket that does not fit leaves only
+// the minimum grants.
+func TestLookaheadBucketLargerThanBudget(t *testing.T) {
+	curves := []policy.WeightedCurve{
+		{Curve: policytest.LinearCurve(1024, 1024, 1000, 0, 1000), Weight: 1, Min: 10},
+	}
+	alloc := policy.Lookahead(curves, 100, 128)
+	if alloc[0] != 10 {
+		t.Errorf("with no whole bucket available only the minimum should be granted, got %v", alloc)
+	}
+}

@@ -93,6 +93,7 @@ type Recorder struct {
 	serviceTimes *stats.Sample
 	queueDelays  *stats.Sample
 	windows      *stats.Windowed
+	perRequest   []float64 // nil unless KeepPerRequest enabled recording
 	completed    uint64
 	warmups      uint64
 }
@@ -127,6 +128,9 @@ func (rec *Recorder) Record(r *Request) {
 		return
 	}
 	rec.completed++
+	if rec.perRequest != nil {
+		rec.perRequest = append(rec.perRequest, float64(r.Latency()))
+	}
 	rec.latencies.Add(float64(r.Latency()))
 	rec.serviceTimes.Add(float64(r.ServiceTime()))
 	rec.queueDelays.Add(float64(r.QueueDelay()))
@@ -180,6 +184,25 @@ func (rec *Recorder) TailLatency(percentile float64) float64 {
 	}
 	return v
 }
+
+// KeepPerRequest enables order-preserving per-request recording, pre-sized
+// for n measured requests. Off by default: only consumers that need to join
+// latencies back to individual requests (the cluster aggregator) pay the
+// extra copy.
+func (rec *Recorder) KeepPerRequest(n int) {
+	if rec.perRequest == nil {
+		rec.perRequest = make([]float64, 0, n)
+	}
+}
+
+// PerRequestLatencies returns the measured (non-warmup) request latencies in
+// completion order — which, for the single-worker FIFO server every
+// latency-critical slot runs, is also request-ID (arrival) order. Unlike the
+// Latencies sample, whose backing array percentile queries sort in place,
+// this slice keeps its order, so a cluster aggregator can join a node's i-th
+// leaf request back to the query that produced it. Nil unless KeepPerRequest
+// was called before recording. Read-only.
+func (rec *Recorder) PerRequestLatencies() []float64 { return rec.perRequest }
 
 // Latencies returns the latency sample for further analysis.
 func (rec *Recorder) Latencies() *stats.Sample { return rec.latencies }

@@ -191,6 +191,24 @@ type AppSpec struct {
 	// Seed gives the slot its own random streams; 0 derives one from the
 	// run seed and the slot index.
 	Seed uint64
+
+	// Arrivals overrides the slot's arrival process with an explicit,
+	// pre-generated stream — how the cluster front-end hands each node its
+	// share of a globally split query stream. When set, ExplicitRequests and
+	// ExplicitWarmup size the run (the profile's request counts and
+	// RequestFactor are ignored), Sched must be constant (a cluster-wide
+	// schedule is already baked into the stream by the front-end), and
+	// Load/MeanInterarrival become optional. Only latency-critical slots may
+	// set it.
+	Arrivals workload.ArrivalProcess
+	// ExplicitRequests is the number of measured requests when Arrivals is
+	// set (must be at least 1; the replayed stream must carry
+	// ExplicitWarmup+ExplicitRequests times).
+	ExplicitRequests int
+	// ExplicitWarmup is the number of leading warmup requests when Arrivals
+	// is set. The replayed stream must present warmup arrivals strictly
+	// before measured ones (the cluster planner guarantees this).
+	ExplicitWarmup int
 }
 
 // IsLC reports whether the slot holds a latency-critical application.
@@ -216,11 +234,24 @@ func (s AppSpec) Validate() error {
 		if err := s.LC.Validate(); err != nil {
 			return err
 		}
-		if s.MeanInterarrival == 0 && (s.Load <= 0 || s.Load >= 1) {
+		if s.Arrivals == nil && s.MeanInterarrival == 0 && (s.Load <= 0 || s.Load >= 1) {
 			return fmt.Errorf("sim: latency-critical app %q needs a load in (0,1) or an explicit interarrival", s.LC.Name)
 		}
 		if err := s.Sched.Validate(); err != nil {
 			return err
+		}
+		if s.Arrivals != nil {
+			if s.ExplicitRequests < 1 {
+				return fmt.Errorf("sim: app %q with an explicit arrival stream needs ExplicitRequests >= 1", s.LC.Name)
+			}
+			if s.ExplicitWarmup < 0 {
+				return fmt.Errorf("sim: app %q has negative ExplicitWarmup", s.LC.Name)
+			}
+			if !s.Sched.IsConstant() {
+				return fmt.Errorf("sim: app %q cannot combine a load schedule with an explicit arrival stream (the stream already carries the schedule)", s.LC.Name)
+			}
+		} else if s.ExplicitRequests != 0 || s.ExplicitWarmup != 0 {
+			return fmt.Errorf("sim: app %q sets explicit request counts without an explicit arrival stream", s.LC.Name)
 		}
 	}
 	if s.Batch != nil {
@@ -229,6 +260,9 @@ func (s AppSpec) Validate() error {
 		}
 		if !s.Sched.IsConstant() {
 			return fmt.Errorf("sim: batch app %q cannot have a load schedule (no arrival process)", s.Batch.Name)
+		}
+		if s.Arrivals != nil {
+			return fmt.Errorf("sim: batch app %q cannot have an arrival process", s.Batch.Name)
 		}
 	}
 	return nil
@@ -251,6 +285,9 @@ func (s AppSpec) requestCount() int {
 	if !s.IsLC() {
 		return 0
 	}
+	if s.Arrivals != nil {
+		return s.ExplicitRequests
+	}
 	f := s.RequestFactor
 	if f <= 0 {
 		f = 1
@@ -266,6 +303,9 @@ func (s AppSpec) requestCount() int {
 func (s AppSpec) warmupCount() int {
 	if !s.IsLC() {
 		return 0
+	}
+	if s.Arrivals != nil {
+		return s.ExplicitWarmup
 	}
 	f := s.RequestFactor
 	if f <= 0 {

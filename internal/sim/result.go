@@ -23,6 +23,13 @@ type AppResult struct {
 	// percentiles.
 	Latencies    *stats.Sample
 	ServiceTimes *stats.Sample
+	// RequestLatencies holds the measured latencies in request-ID (arrival)
+	// order — unlike the Latencies sample, whose backing array percentile
+	// queries sort in place. The cluster aggregator joins a node's i-th leaf
+	// request back to its query through this slice. Only populated for slots
+	// with an explicit arrival stream (cluster leaves); nil otherwise.
+	// Read-only.
+	RequestLatencies []float64
 	// ReuseBreakdown is the Figure 2 classification: hit fractions by
 	// requests-since-last-touch, then the miss fraction.
 	ReuseBreakdown []float64

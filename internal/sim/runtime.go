@@ -119,23 +119,25 @@ func newAppRuntime(idx int, spec AppSpec, cfg Config) (*appRuntime, error) {
 		a.toGenerate = spec.requestCount() + spec.warmupCount()
 		a.warmupRequests = spec.warmupCount()
 		a.recorder = queueing.NewRecorderWindowed(spec.requestCount(), cfg.LatencyWindowCycles)
-		interarrival := spec.MeanInterarrival
-		if interarrival <= 0 {
-			return nil, fmt.Errorf("sim: app %q has no mean interarrival; calibrate the load first", spec.Name())
-		}
-		// The constant schedule takes the plain Poisson path (identical code,
-		// identical seeds) so pre-schedule runs reproduce bit for bit; a
-		// time-varying schedule wraps the same exponential stream in the
-		// rate modulator, with the schedule's own randomness (MMPP dwells)
-		// on an independent derived seed.
-		if spec.Sched.IsConstant() {
-			arr, err := workload.NewPoissonArrivals(interarrival, workload.SplitSeed(seed, 7))
-			if err != nil {
-				return nil, err
-			}
-			a.arrivals = arr
+		if spec.Arrivals != nil {
+			// An explicit pre-generated stream (a cluster leaf stream)
+			// replays verbatim; the generating front-end already applied the
+			// rate, the schedule and the seeds. The cluster aggregator joins
+			// leaves back to queries by request ID, so keep the
+			// order-preserving latency copy for these slots only.
+			a.recorder.KeepPerRequest(spec.requestCount())
+			a.arrivals = spec.Arrivals
 		} else {
-			arr, err := workload.NewModulatedArrivals(interarrival, workload.SplitSeed(seed, 7),
+			interarrival := spec.MeanInterarrival
+			if interarrival <= 0 {
+				return nil, fmt.Errorf("sim: app %q has no mean interarrival; calibrate the load first", spec.Name())
+			}
+			// The constant schedule takes the plain Poisson path (identical
+			// code, identical seeds) so pre-schedule runs reproduce bit for
+			// bit; a time-varying schedule wraps the same exponential stream
+			// in the rate modulator, with the schedule's own randomness (MMPP
+			// dwells) on an independent derived seed.
+			arr, err := workload.NewScheduledArrivals(interarrival, workload.SplitSeed(seed, 7),
 				spec.Sched, workload.SplitSeed(seed, 11))
 			if err != nil {
 				return nil, err

@@ -510,6 +510,7 @@ func (s *Simulator) collect() Result {
 			ar.Requests = a.recorder.Completed()
 			ar.Latencies = a.recorder.Latencies()
 			ar.ServiceTimes = a.recorder.ServiceTimes()
+			ar.RequestLatencies = a.recorder.PerRequestLatencies()
 			ar.ReuseBreakdown = a.reuse.Breakdown()
 			ar.Schedule = a.spec.Sched.String()
 			ar.Windows = a.recorder.WindowStats(s.cfg.TailPercentile)

@@ -88,6 +88,72 @@ func (m *ModulatedArrivals) Next(prev uint64) uint64 {
 	return prev + uint64(gap)
 }
 
+// NewScheduledArrivals builds the arrival process a latency-critical request
+// stream is driven by: plain Poisson for the constant schedule (so
+// pre-schedule seeds reproduce bit for bit) and the rate-modulated process
+// otherwise. Both the simulator's per-slot streams and the cluster front-end's
+// global query stream construct their processes through this one factory, so
+// the two layers can never drift apart: a cluster front-end seeded with a
+// node's arrival seeds generates exactly the stream that node would have
+// generated for itself. seed drives the exponential draws and schedSeed the
+// schedule's own randomness (MMPP dwells); callers split them from one parent
+// seed.
+func NewScheduledArrivals(meanInterarrival float64, seed uint64, spec ScheduleSpec, schedSeed uint64) (ArrivalProcess, error) {
+	if spec.IsConstant() {
+		return NewPoissonArrivals(meanInterarrival, seed)
+	}
+	return NewModulatedArrivals(meanInterarrival, seed, spec, schedSeed)
+}
+
+// DrawArrivals materialises the first n arrival times of a process using the
+// same protocol the simulator's enqueue loop uses (the first arrival is
+// Next(0), each later one is Next(previous)), so a drawn-then-replayed stream
+// is indistinguishable from the process generating arrivals in place.
+func DrawArrivals(p ArrivalProcess, n int) []uint64 {
+	out := make([]uint64, n)
+	prev := uint64(0)
+	for i := range out {
+		prev = p.Next(prev)
+		out[i] = prev
+	}
+	return out
+}
+
+// replayExhaustedGap is the gap ReplayArrivals reports past the end of its
+// stream. The simulator never acts on it (request generation stops at the
+// slot's request count first), it only needs to move the clock forward.
+const replayExhaustedGap = 1 << 40
+
+// ReplayArrivals replays a pre-generated arrival sequence verbatim — the
+// arrival-splitting adapter of the cluster layer: a front-end draws one global
+// query stream, splits it into per-node leaf streams, and each node's
+// simulation consumes its share through a ReplayArrivals instance. Because
+// times are returned untouched, a single-node split reproduces the generating
+// process bit for bit.
+type ReplayArrivals struct {
+	times []uint64
+	pos   int
+}
+
+// NewReplayArrivals returns a process that replays times in order. times must
+// be sorted ascending (the order requests arrive in).
+func NewReplayArrivals(times []uint64) *ReplayArrivals {
+	return &ReplayArrivals{times: times}
+}
+
+// Next implements ArrivalProcess.
+func (r *ReplayArrivals) Next(prev uint64) uint64 {
+	if r.pos >= len(r.times) {
+		return prev + replayExhaustedGap
+	}
+	t := r.times[r.pos]
+	r.pos++
+	return t
+}
+
+// Remaining returns how many replay times have not been consumed yet.
+func (r *ReplayArrivals) Remaining() int { return len(r.times) - r.pos }
+
 // UniformArrivals produces deterministic, evenly spaced arrivals; useful in
 // tests and for isolating queueing effects.
 type UniformArrivals struct {
