@@ -50,6 +50,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		loadSched   = fs.String("loadsched", "", "load schedule for the fig7 transient experiment (default: a 3x burst aligned to the stat windows); see ubiksim -loadsched for the syntax")
 		parallelism = fs.Int("parallelism", 0, "worker pool size for mix sweeps, load sweeps and isolation baselines (0 = GOMAXPROCS); results are identical at any setting")
 		noShard     = fs.Bool("noshard", false, "disable sub-mix sharding (load points and isolation baselines run serially)")
+		warmReuse   = fs.Bool("warmreuse", true, "reuse warm simulator state across sweep points: memoize exactly-repeated calibration/isolation runs and fork schedule sweeps from per-scheme warm checkpoints; results are byte-identical either way")
+		noWarmReuse = fs.Bool("nowarmreuse", false, "disable warm-state reuse (the naive re-warm path; overrides -warmreuse)")
 		csv         = fs.Bool("csv", false, "emit CSV instead of aligned text")
 		jsonOut     = fs.Bool("json", false, "emit one JSON array of all result tables instead of aligned text")
 		list        = fs.Bool("list", false, "list available experiments and exit")
@@ -104,6 +106,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *noShard {
 		scale.SubMixSharding = false
+	}
+	scale.WarmReuse = *warmReuse && !*noWarmReuse
+	if scale.WarmReuse {
+		// One pool for the whole invocation, so experiments selected together
+		// (fig7+flash, cluster+hetero, fig1a+fig1b+fig2) share their
+		// calibration and baseline runs too.
+		scale.Warm = sim.NewWarmPool()
 	}
 	cfg := sim.DefaultConfig()
 	cfg.Seed = *seed

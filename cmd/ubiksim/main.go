@@ -69,6 +69,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		quorum      = fs.Int("quorum", 0, "cluster quorum: leaf responses that complete a query (0 = fanout, i.e. wait for the slowest leaf)")
 		balancer    = fs.String("balancer", "rr", "cluster balancer: rr, random, weighted, p2c")
 		hedge       = fs.Float64("hedge", 0, "cluster hedging: issue one eager duplicate per query to a spare node after this fraction of the deadline (0 disables)")
+		warmReuse   = fs.Bool("warmreuse", true, "accept warm-state reuse (parity with the experiments cmd; a single ubiksim invocation runs each calibration/isolation exactly once, so both settings take the identical path)")
+		noWarmReuse = fs.Bool("nowarmreuse", false, "force the naive re-warm path (overrides -warmreuse; identical output)")
 		l1KB        = fs.Float64("l1kb", 32, "private L1 size in model KB (0 disables the level)")
 		l2KB        = fs.Float64("l2kb", 256, "private L2 size in model KB (0 disables the level)")
 		inclusive   = fs.Bool("inclusive", false, "make the private L2 inclusive of L1 (evictions back-invalidate)")
@@ -136,8 +138,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cfg.LLC.Mode = cache.ModeLRU
 	}
 
+	// Warm-state reuse: accepted for CLI parity with cmd/experiments, but a
+	// single ubiksim invocation runs each calibration/isolation exactly once
+	// (per-seed keys never repeat), so no pool is kept — retaining results in
+	// a pool that can never hit would only double peak memory. Both settings
+	// take the identical path; the pooled call sites below treat a nil pool
+	// as the naive path.
+	_, _ = *warmReuse, *noWarmReuse
+	var pool *sim.WarmPool
+
 	fmt.Fprintf(stdout, "Calibrating %s at %.0f%% load...\n", lc.Name, *load*100)
-	base, err := sim.MeasureLCBaseline(cfg, lc, lc.TargetLines(), *load, *reqFactor)
+	base, err := sim.MeasureLCBaselinePooled(pool, cfg, lc, lc.TargetLines(), *load, *reqFactor)
 	if err != nil {
 		return err
 	}
@@ -170,7 +181,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			Sched: sched,
 		})
 	}
-	isoRuns, err := sim.RunIsolatedLCShards(cfg, lc, lc.TargetLines(), base.MeanInterarrival, *reqFactor, seeds, workers)
+	isoRuns, err := sim.RunIsolatedLCShardsPooled(pool, cfg, lc, lc.TargetLines(), base.MeanInterarrival, *reqFactor, seeds, workers)
 	if err != nil {
 		return err
 	}

@@ -58,6 +58,10 @@ type Cache interface {
 	PartitionStats(part PartitionID) PartitionStats
 	// ResetStats clears all cumulative statistics (occupancy is preserved).
 	ResetStats()
+	// Clone returns a deep copy of the cache — contents, partition state and
+	// statistics — so a checkpointed simulation can fork without aliasing any
+	// mutable state. Accesses to either copy cannot affect the other.
+	Clone() Cache
 }
 
 // Stats holds cumulative whole-cache statistics.
@@ -149,6 +153,15 @@ func newPartitionTable(n int) *partitionTable {
 		sizes:   make([]uint64, n),
 		stats:   make([]PartitionStats, n),
 	}
+}
+
+// clone returns a deep copy of the table.
+func (t *partitionTable) clone() *partitionTable {
+	c := newPartitionTable(len(t.targets))
+	copy(c.targets, t.targets)
+	copy(c.sizes, t.sizes)
+	copy(c.stats, t.stats)
+	return c
 }
 
 func (t *partitionTable) valid(p PartitionID) bool {

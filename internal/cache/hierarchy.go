@@ -240,6 +240,17 @@ func (l *PrivateLevel) Fill(addr uint64) (evicted uint64, wasValid bool) {
 	return evicted, wasValid
 }
 
+// Clone returns a deep copy of the level (tags, LRU stamps, statistics).
+// Cloning a nil level returns nil, matching the "always miss" convention.
+func (l *PrivateLevel) Clone() *PrivateLevel {
+	if l == nil {
+		return nil
+	}
+	n := *l
+	n.slots = append([]plSlot(nil), l.slots...)
+	return &n
+}
+
 // Invalidate removes addr from the level if present (back-invalidation from
 // an inclusive lower level).
 func (l *PrivateLevel) Invalidate(addr uint64) {
@@ -314,6 +325,14 @@ func NewHierarchy(cfg HierarchyConfig, llc Cache) (*Hierarchy, error) {
 		return nil, err
 	}
 	return &Hierarchy{l1: l1, l2: l2, llc: llc}, nil
+}
+
+// CloneWithLLC returns a deep copy of the private levels (including their
+// back-invalidation statistics) chained in front of the given shared LLC.
+// Hierarchies do not own the LLC, so forking a simulation clones the LLC once
+// and rebinds every application's hierarchy clone to it through this method.
+func (h *Hierarchy) CloneWithLLC(llc Cache) *Hierarchy {
+	return &Hierarchy{l1: h.l1.Clone(), l2: h.l2.Clone(), llc: llc}
 }
 
 // L1 returns the private L1 level (nil when disabled).

@@ -329,6 +329,17 @@ func (c *SetAssoc) lruVictim(set []line) int {
 	return best
 }
 
+// Clone implements Cache.
+func (c *SetAssoc) Clone() Cache {
+	n := *c
+	n.lines = append([]line(nil), c.lines...)
+	n.parts = c.parts.clone()
+	if c.wayOwner != nil {
+		n.wayOwner = append([]PartitionID(nil), c.wayOwner...)
+	}
+	return &n
+}
+
 // Contains reports whether addr is currently cached (used by tests).
 func (c *SetAssoc) Contains(addr uint64) bool {
 	setIdx := reduceRange(hashAddr(addr), c.numSets)

@@ -434,6 +434,25 @@ func (c *ZCache) replacementWalk(inserting PartitionID) (int, bool) {
 	return lruIdx, false // ModeLRU
 }
 
+// Clone implements Cache. The slot arrays, partition table and counters are
+// deep-copied; the replacement-walk scratch state (whose contents never
+// influence a walk's outcome — entries are generation-stamped and the
+// generation restarts with the clone) is allocated fresh. The per-way index
+// multipliers are immutable after construction and shared.
+func (c *ZCache) Clone() Cache {
+	n := *c
+	n.addrs = append([]uint64(nil), c.addrs...)
+	n.info = append([]uint64(nil), c.info...)
+	n.metas = append([]uint64(nil), c.metas...)
+	n.parts = c.parts.clone()
+	n.walkNodes = make([]walkNode, 0, cap(c.walkNodes))
+	n.seenTab = make([]seenEntry, len(c.seenTab))
+	n.gen = 0
+	n.overTab = make([]uint64, len(c.overTab))
+	n.posBuf = make([]uint64, len(c.posBuf))
+	return &n
+}
+
 // Contains reports whether addr is currently cached (used by tests).
 func (c *ZCache) Contains(addr uint64) bool {
 	for w := 0; w < c.ways; w++ {

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/parallel"
@@ -98,6 +100,48 @@ func (s *Spec) SizeForPerNodeLoad(perNodeRequests, perNodeWarmup int, leafMeanIn
 // leaf latencies into query latencies. Results are bit-identical at any
 // parallelism.
 func Run(spec Spec, parallelism int) (Result, error) {
+	return RunPooled(spec, parallelism, nil, "")
+}
+
+// nodeKey is the warm-pool identity of one node simulation: the complete
+// node machine configuration and app specs, the policy identity the caller
+// vouches for (schemeKey — policy constructors are opaque closures, so the
+// caller must key them uniquely within the pool's lifetime), and a SHA-256
+// digest of the exact leaf arrival stream the front-end dealt the node
+// (lossless in practice: a collision of the full 256-bit digest is beyond
+// anything the fleet sizes here can produce, and keeping thousands of raw
+// arrival times per key would defeat the pool). Two node runs with equal
+// keys are the same deterministic computation — the straggler experiments
+// re-simulate every healthy node once per cluster variant today, and this is
+// what lets the pool collapse those repeats.
+func nodeKey(node NodeSpec, schemeKey string, times []uint64, warmup int) string {
+	hash := sha256.New()
+	var buf [8]byte
+	for _, t := range times {
+		binary.LittleEndian.PutUint64(buf[:], t)
+		hash.Write(buf[:])
+	}
+	h := hash.Sum(nil)
+	// Pointer fields (profiles) are fingerprinted by value — %#v of a struct
+	// holding pointers would print addresses, which are meaningless as
+	// identity.
+	lc := node.LC
+	var batch []string
+	for _, b := range node.Batch {
+		batch = append(batch, fmt.Sprintf("%#v|%d|%d", *b.Batch, b.ROIInstructions, b.Seed))
+	}
+	return fmt.Sprintf("clnode|%s|%#v|%#v|%v|%v|%d|%d|%v|%d|%v|warm=%d|times=%d:%x",
+		schemeKey, node.Config, *lc.LC, lc.Load, lc.MeanInterarrival, lc.TargetLines, lc.DeadlineCycles,
+		lc.RequestFactor, lc.Seed, batch, warmup, len(times), h)
+}
+
+// RunPooled is Run with the per-node simulations memoized through a warm
+// pool: any node whose (configuration, policy, leaf stream) identity repeats
+// across cluster runs — the healthy nodes of a straggler-vs-uniform
+// comparison, or identical replicas across sweep variants — is simulated
+// once. schemeKey must uniquely identify what NewPolicy constructs (pool
+// keys cannot see inside the closure); a nil pool runs every node.
+func RunPooled(spec Spec, parallelism int, pool *sim.WarmPool, schemeKey string) (Result, error) {
 	if err := spec.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -115,15 +159,24 @@ func Run(spec Spec, parallelism int) (Result, error) {
 		if measured < 1 {
 			return fmt.Errorf("cluster: node %d received no measured leaves (only %d warmup); raise Queries or rebalance", n, warmup)
 		}
-		lc := node.LC
-		lc.Arrivals = workload.NewReplayArrivals(times)
-		lc.ExplicitRequests = measured
-		lc.ExplicitWarmup = warmup
-		lc.Sched = workload.ScheduleSpec{} // the replayed stream already carries the global schedule
-		specs := make([]sim.AppSpec, 0, 1+len(node.Batch))
-		specs = append(specs, lc)
-		specs = append(specs, node.Batch...)
-		res, err := sim.RunMix(node.Config, specs, node.NewPolicy())
+		runNode := func() (sim.Result, error) {
+			lc := node.LC
+			lc.Arrivals = workload.NewReplayArrivals(times)
+			lc.ExplicitRequests = measured
+			lc.ExplicitWarmup = warmup
+			lc.Sched = workload.ScheduleSpec{} // the replayed stream already carries the global schedule
+			specs := make([]sim.AppSpec, 0, 1+len(node.Batch))
+			specs = append(specs, lc)
+			specs = append(specs, node.Batch...)
+			return sim.RunMix(node.Config, specs, node.NewPolicy())
+		}
+		var res sim.Result
+		var err error
+		if pool != nil {
+			res, err = pool.Result(nodeKey(node, schemeKey, times, warmup), runNode)
+		} else {
+			res, err = runNode()
+		}
 		if err != nil {
 			return fmt.Errorf("cluster: node %d: %w", n, err)
 		}

@@ -124,6 +124,30 @@ func BuildRepartTable(apps []int, curves []monitor.MissCurve, weights []float64,
 	return t
 }
 
+// Clone returns a deep copy of the table: budget rows, app indices and the
+// retained miss curves are all duplicated, so a forked Ubik instance shares
+// no mutable state with its parent.
+func (t *RepartTable) Clone() *RepartTable {
+	if t == nil {
+		return nil
+	}
+	c := &RepartTable{
+		bucketLines: t.bucketLines,
+		Apps:        append([]int(nil), t.Apps...),
+		alloc:       make([][]uint64, len(t.alloc)),
+		curves:      make([]monitor.MissCurve, len(t.curves)),
+	}
+	for i, row := range t.alloc {
+		c.alloc[i] = append([]uint64(nil), row...)
+	}
+	for i, curve := range t.curves {
+		cc := curve
+		cc.Misses = append([]float64(nil), curve.Misses...)
+		c.curves[i] = cc
+	}
+	return c
+}
+
 // BucketLines returns the table's allocation granularity.
 func (t *RepartTable) BucketLines() uint64 { return t.bucketLines }
 

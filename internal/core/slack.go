@@ -25,6 +25,12 @@ func NewSlackController(slack float64) *SlackController {
 	return &SlackController{Slack: slack, Gain: 0.05, MaxMissSlack: 4 * slack}
 }
 
+// Clone returns an independent copy of the controller.
+func (c *SlackController) Clone() *SlackController {
+	n := *c
+	return &n
+}
+
 // MissSlack returns the current allowed fraction of additional misses.
 func (c *SlackController) MissSlack() float64 {
 	if c.Slack <= 0 {

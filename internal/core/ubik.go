@@ -86,6 +86,37 @@ func NewUbikWithConfig(cfg Config) *Ubik {
 	return &Ubik{cfg: cfg, lc: make(map[int]*lcState)}
 }
 
+// clone returns a deep copy of one latency-critical app's runtime state,
+// including the mid-boost UMON snapshot and the adaptive slack controller.
+func (s *lcState) clone() *lcState {
+	c := *s
+	c.boostSnap = s.boostSnap
+	c.boostSnap.HitsAtWay = append([]uint64(nil), s.boostSnap.HitsAtWay...)
+	c.slackCtl = s.slackCtl.Clone()
+	return &c
+}
+
+// Clone implements policy.Policy: every piece of Ubik's runtime state — the
+// per-app sizings, boost phases and their UMON snapshots, the slack
+// controllers, and the batch repartitioning table — is deep-copied, so a
+// forked run's de-boost decisions and reconfigurations cannot alias the
+// parent's state. Sizes for apps mid-boost carry over exactly (the checkpoint
+// contract: a fork resumed immediately behaves identically to the original).
+func (u *Ubik) Clone() policy.Policy {
+	c := &Ubik{
+		cfg:             u.cfg,
+		lcApps:          append([]int(nil), u.lcApps...),
+		batchApps:       append([]int(nil), u.batchApps...),
+		lc:              make(map[int]*lcState, len(u.lc)),
+		repart:          u.repart.Clone(),
+		lastBatchBudget: u.lastBatchBudget,
+	}
+	for app, st := range u.lc {
+		c.lc[app] = st.clone()
+	}
+	return c
+}
+
 // Name implements policy.Policy.
 func (u *Ubik) Name() string {
 	if u.cfg.Slack > 0 {

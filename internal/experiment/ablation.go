@@ -37,6 +37,7 @@ func AblationTransientBound(cfg sim.Config, scale Scale) (Table, error) {
 // runAblation sweeps the given Ubik variants over the scaled mix matrix and
 // summarises tail degradation and weighted speedup.
 func runAblation(cfg sim.Config, scale Scale, id, title string, schemes []Scheme) (Table, error) {
+	scale = scale.withPool()
 	mixes, err := MixesFor(scale)
 	if err != nil {
 		return Table{}, err

@@ -44,7 +44,7 @@ func clusterBaseline(cfg sim.Config, scale Scale, service string) (sim.LCBaselin
 		return sim.LCBaseline{}, 0, err
 	}
 	reqFactor := scale.requestFactor()
-	base, err := sim.MeasureLCBaseline(cfg, profile, profile.TargetLines(), 0.2, reqFactor)
+	base, err := sim.MeasureLCBaselinePooled(scale.Warm, cfg, profile, profile.TargetLines(), 0.2, reqFactor)
 	if err != nil {
 		return sim.LCBaseline{}, 0, err
 	}
@@ -117,6 +117,7 @@ func ClusterTail(cfg sim.Config, scale Scale) ([]Table, error) {
 // clusterTailTables is ClusterTail parameterised for tests (which drive a
 // lighter service profile to stay fast).
 func clusterTailTables(cfg sim.Config, scale Scale, schemes []Scheme, nodes int, service string) ([]Table, error) {
+	scale = scale.withPool()
 	base, reqFactor, err := clusterBaseline(cfg, scale, service)
 	if err != nil {
 		return nil, err
@@ -130,7 +131,7 @@ func clusterTailTables(cfg sim.Config, scale Scale, schemes []Scheme, nodes int,
 		if err != nil {
 			return err
 		}
-		runs[i], err = cluster.Run(spec, 1)
+		runs[i], err = cluster.RunPooled(spec, 1, scale.Warm, scheme.Name)
 		return err
 	}); err != nil {
 		return nil, err
@@ -197,6 +198,7 @@ func ClusterHetero(cfg sim.Config, scale Scale) ([]Table, error) {
 
 // clusterHeteroTables is ClusterHetero parameterised for tests.
 func clusterHeteroTables(cfg sim.Config, scale Scale, nodes int, service string) ([]Table, error) {
+	scale = scale.withPool()
 	base, reqFactor, err := clusterBaseline(cfg, scale, service)
 	if err != nil {
 		return nil, err
@@ -224,7 +226,7 @@ func clusterHeteroTables(cfg sim.Config, scale Scale, nodes int, service string)
 		if err != nil {
 			return err
 		}
-		res, err := cluster.Run(spec, 1)
+		res, err := cluster.RunPooled(spec, 1, scale.Warm, scheme.Name)
 		if err != nil {
 			return err
 		}

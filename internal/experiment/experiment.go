@@ -46,23 +46,48 @@ type Scale struct {
 	// shard is an independent, seed-determined simulation whose output lands
 	// in an index-addressed slot).
 	SubMixSharding bool
+	// WarmReuse enables warm-state reuse (the -warmreuse flag, on by
+	// default): exactly-repeated calibration/isolation/baseline runs are
+	// memoized, and sweeps that share a warmup prefix (the flash-crowd
+	// magnitude sweep) warm once per scheme and fork each sweep point from
+	// the snapshot. Every reuse is exact-identity keyed or
+	// quiescence-verified, so results are byte-identical to the naive
+	// re-warm path (locked by the differential tests in warmreuse_test.go).
+	WarmReuse bool
+	// Warm is the pool backing WarmReuse. Leave nil: each experiment entry
+	// point allocates its own through withPool. Set it explicitly (as
+	// cmd/experiments does) to share warm state across several experiments in
+	// one invocation.
+	Warm *sim.WarmPool
+}
+
+// withPool resolves the scale's warm pool: WarmReuse off forces nil (the
+// naive path), WarmReuse on without an explicit pool allocates a fresh one
+// for this experiment.
+func (s Scale) withPool() Scale {
+	if !s.WarmReuse {
+		s.Warm = nil
+	} else if s.Warm == nil {
+		s.Warm = sim.NewWarmPool()
+	}
+	return s
 }
 
 // QuickScale is sized for benchmarks and smoke tests (minutes for the whole
 // suite).
 func QuickScale() Scale {
-	return Scale{RequestFactor: 0.08, MixesPerLC: 1, BatchROI: 300_000, LoadPoints: 4, Seed: 1, SubMixSharding: true}
+	return Scale{RequestFactor: 0.08, MixesPerLC: 1, BatchROI: 300_000, LoadPoints: 4, Seed: 1, SubMixSharding: true, WarmReuse: true}
 }
 
 // DefaultScale is the development default: small but statistically meaningful.
 func DefaultScale() Scale {
-	return Scale{RequestFactor: 0.25, MixesPerLC: 4, BatchROI: 600_000, LoadPoints: 6, Seed: 1, SubMixSharding: true}
+	return Scale{RequestFactor: 0.25, MixesPerLC: 4, BatchROI: 600_000, LoadPoints: 6, Seed: 1, SubMixSharding: true, WarmReuse: true}
 }
 
 // FullScale approximates the paper's evaluation breadth (all 400 mixes, full
 // request counts); expect hours of runtime.
 func FullScale() Scale {
-	return Scale{RequestFactor: 1.0, MixesPerLC: 40, BatchROI: 1_500_000, LoadPoints: 9, Seed: 1, SubMixSharding: true}
+	return Scale{RequestFactor: 1.0, MixesPerLC: 40, BatchROI: 1_500_000, LoadPoints: 9, Seed: 1, SubMixSharding: true, WarmReuse: true}
 }
 
 func (s Scale) parallelism() int {
@@ -176,7 +201,7 @@ func (b *Baselines) LC(lc mix.LCConfig) (sim.LCBaseline, error) {
 		return base, nil
 	}
 	b.mu.Unlock()
-	base, err := sim.MeasureLCBaseline(b.cfg, lc.App, lc.App.TargetLines(), lc.Level.Value(), b.scale.requestFactor())
+	base, err := sim.MeasureLCBaselinePooled(b.scale.Warm, b.cfg, lc.App, lc.App.TargetLines(), lc.Level.Value(), b.scale.requestFactor())
 	if err != nil {
 		return sim.LCBaseline{}, err
 	}
@@ -207,7 +232,7 @@ func (b *Baselines) PooledIsolatedTail(lc mix.LCConfig, percentile float64) (flo
 	for i := range seeds {
 		seeds[i] = instanceSeed(b.scale.Seed, lc, i)
 	}
-	results, err := sim.RunIsolatedLCShards(b.cfg, lc.App, lc.App.TargetLines(), base.MeanInterarrival,
+	results, err := sim.RunIsolatedLCShardsPooled(b.scale.Warm, b.cfg, lc.App, lc.App.TargetLines(), base.MeanInterarrival,
 		b.scale.requestFactor(), seeds, b.scale.shardWorkers())
 	if err != nil {
 		return 0, err
@@ -243,7 +268,7 @@ func (b *Baselines) BatchIPC(p workload.BatchProfile) (float64, error) {
 		return ipc, nil
 	}
 	b.mu.Unlock()
-	ipc, err := sim.MeasureBatchBaselineIPC(b.cfg, p, sim.LinesFor2MB, b.scale.BatchROI)
+	ipc, err := sim.MeasureBatchBaselineIPCPooled(b.scale.Warm, b.cfg, p, sim.LinesFor2MB, b.scale.BatchROI)
 	if err != nil {
 		return 0, err
 	}

@@ -18,6 +18,7 @@ import (
 // calibration whose row lands in its grid slot, so the tables are identical
 // at any parallelism.
 func Fig1LoadLatency(cfg sim.Config, scale Scale) ([]Table, error) {
+	scale = scale.withPool()
 	points := scale.LoadPoints
 	if points < 2 {
 		points = 4
@@ -27,7 +28,7 @@ func Fig1LoadLatency(cfg sim.Config, scale Scale) ([]Table, error) {
 	err := parallel.For(len(rows), scale.shardWorkers(), func(i int) error {
 		p := profiles[i/points]
 		load := 0.1 + 0.8*float64(i%points)/float64(points-1)
-		base, err := sim.MeasureLCBaseline(cfg, p, p.TargetLines(), load, scale.requestFactor())
+		base, err := sim.MeasureLCBaselinePooled(scale.Warm, cfg, p, p.TargetLines(), load, scale.requestFactor())
 		if err != nil {
 			return err
 		}
@@ -53,14 +54,15 @@ func Fig1LoadLatency(cfg sim.Config, scale Scale) ([]Table, error) {
 // Fig1ServiceCDF reproduces Figure 1b: the CDF of request service times (no
 // queueing delay) per latency-critical application.
 func Fig1ServiceCDF(cfg sim.Config, scale Scale) ([]Table, error) {
+	scale = scale.withPool()
 	var tables []Table
 	for _, p := range workload.AllLCProfiles() {
 		lc := mix.LCConfig{App: p, Level: mix.LowLoad, Instances: 1}
-		base, err := sim.MeasureLCBaseline(cfg, p, p.TargetLines(), lc.Level.Value(), scale.requestFactor())
+		base, err := sim.MeasureLCBaselinePooled(scale.Warm, cfg, p, p.TargetLines(), lc.Level.Value(), scale.requestFactor())
 		if err != nil {
 			return nil, err
 		}
-		res, err := sim.RunIsolatedLC(cfg, p, p.TargetLines(), base.MeanInterarrival, scale.requestFactor(), instanceSeed(scale.Seed, lc, 0))
+		res, err := sim.RunIsolatedLCPooled(scale.Warm, cfg, p, p.TargetLines(), base.MeanInterarrival, scale.requestFactor(), instanceSeed(scale.Seed, lc, 0))
 		if err != nil {
 			return nil, err
 		}
@@ -86,6 +88,7 @@ func Fig1ServiceCDF(cfg sim.Config, scale Scale) ([]Table, error) {
 // and hits classified by how many requests ago the line was last touched, with
 // 2 MB and 8 MB LLCs, plus each application's APKI.
 func Fig2Breakdown(cfg sim.Config, scale Scale) ([]Table, error) {
+	scale = scale.withPool()
 	sizes := []struct {
 		label string
 		lines uint64
@@ -103,11 +106,11 @@ func Fig2Breakdown(cfg sim.Config, scale Scale) ([]Table, error) {
 		}
 		for _, p := range workload.AllLCProfiles() {
 			lc := mix.LCConfig{App: p, Level: mix.LowLoad, Instances: 1}
-			base, err := sim.MeasureLCBaseline(cfg, p, p.TargetLines(), lc.Level.Value(), scale.requestFactor())
+			base, err := sim.MeasureLCBaselinePooled(scale.Warm, cfg, p, p.TargetLines(), lc.Level.Value(), scale.requestFactor())
 			if err != nil {
 				return nil, err
 			}
-			res, err := sim.RunIsolatedLC(cfg, p, sz.lines, base.MeanInterarrival, scale.requestFactor(), instanceSeed(scale.Seed, lc, 0))
+			res, err := sim.RunIsolatedLCPooled(scale.Warm, cfg, p, sz.lines, base.MeanInterarrival, scale.requestFactor(), instanceSeed(scale.Seed, lc, 0))
 			if err != nil {
 				return nil, err
 			}
@@ -139,6 +142,7 @@ func Fig2Breakdown(cfg sim.Config, scale Scale) ([]Table, error) {
 // and returns the per-mix records; Figure 9, Table 3 and Figure 10 are
 // different aggregations of these records.
 func RunMainComparison(cfg sim.Config, scale Scale) ([]MixRecord, error) {
+	scale = scale.withPool()
 	mixes, err := MixesFor(scale)
 	if err != nil {
 		return nil, err
@@ -276,6 +280,7 @@ func Fig11InOrder(cfg sim.Config, scale Scale) ([]Table, []MixRecord, error) {
 // Fig12Slack runs Ubik with 0%, 1%, 5% and 10% slack over the mix matrix and
 // returns per-application tables (Figure 12).
 func Fig12Slack(cfg sim.Config, scale Scale) ([]Table, []MixRecord, error) {
+	scale = scale.withPool()
 	mixes, err := MixesFor(scale)
 	if err != nil {
 		return nil, nil, err
@@ -310,6 +315,7 @@ func Fig13ArrayConfigs(lines uint64, partitions int) []struct {
 // organisation of Figure 13 and summarises tail degradation and weighted
 // speedup per configuration.
 func Fig13PartScheme(cfg sim.Config, scale Scale) ([]Table, error) {
+	scale = scale.withPool()
 	mixes, err := MixesFor(scale)
 	if err != nil {
 		return nil, err
@@ -371,6 +377,7 @@ func Fig14HierarchyConfigs() []struct {
 // are recomputed per configuration (isolation runs use the same private
 // levels as the mix they normalise).
 func Fig14HierarchySweep(cfg sim.Config, scale Scale) ([]Table, error) {
+	scale = scale.withPool()
 	mixes, err := MixesFor(scale)
 	if err != nil {
 		return nil, err

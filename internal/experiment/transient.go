@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/cache"
@@ -50,10 +51,10 @@ type transientRun struct {
 	res    sim.Result
 }
 
-// runTransientMix runs the transient mix under one scheme with the given
-// schedule, windowed latency recording on. Every run derives its seeds from
-// scale.Seed only, so a fixed seed is bit-identical at any parallelism.
-func runTransientMix(cfg sim.Config, scale Scale, scheme Scheme, sched workload.ScheduleSpec, base sim.LCBaseline, reqFactor float64) (sim.Result, error) {
+// transientMixSpecs assembles the transient mix's machine configuration and
+// application slots for one scheme and schedule. Every run derives its seeds
+// from scale.Seed only, so a fixed seed is bit-identical at any parallelism.
+func transientMixSpecs(cfg sim.Config, scale Scale, scheme Scheme, sched workload.ScheduleSpec, base sim.LCBaseline, reqFactor float64) (sim.Config, []sim.AppSpec, error) {
 	runCfg := cfg
 	runCfg.LatencyWindowCycles = transientWindowCycles(cfg)
 	if scheme.Unpartitioned {
@@ -75,12 +76,74 @@ func runTransientMix(cfg sim.Config, scale Scale, scheme Scheme, sched workload.
 	for _, name := range transientBatchNames() {
 		p, err := workload.BatchByName(name)
 		if err != nil {
-			return sim.Result{}, err
+			return sim.Config{}, nil, err
 		}
 		batch := p
 		specs = append(specs, sim.AppSpec{Batch: &batch, ROIInstructions: scale.BatchROI})
 	}
+	return runCfg, specs, nil
+}
+
+// runTransientMix runs the transient mix under one scheme with the given
+// schedule, windowed latency recording on.
+func runTransientMix(cfg sim.Config, scale Scale, scheme Scheme, sched workload.ScheduleSpec, base sim.LCBaseline, reqFactor float64) (sim.Result, error) {
+	runCfg, specs, err := transientMixSpecs(cfg, scale, scheme, sched, base, reqFactor)
+	if err != nil {
+		return sim.Result{}, err
+	}
 	return sim.RunMix(runCfg, specs, scheme.NewPolicy())
+}
+
+// runTransientMixWarmFork is runTransientMix through the warm-fork engine: a
+// sweep over schedules that share a quiescent prefix (flash magnitudes, burst
+// intensities) warms each scheme once up to the first rate deviation,
+// checkpoints, and forks every sweep point from the snapshot with the
+// schedule swapped in. The checkpoint key deliberately excludes the schedule
+// — interchangeability up to the warm boundary is exactly what
+// RunFromCheckpointWithSchedule verifies per fork, and any fork the engine
+// cannot prove safe falls back to the naive full re-warm, so results are
+// byte-identical to runTransientMix either way (locked by the differential
+// tests). A nil pool takes the naive path directly.
+func runTransientMixWarmFork(pool *sim.WarmPool, cfg sim.Config, scale Scale, scheme Scheme, sched workload.ScheduleSpec, base sim.LCBaseline, reqFactor float64) (sim.Result, error) {
+	warmCycle := sched.QuiescentUntil()
+	if pool == nil || warmCycle == 0 || warmCycle == ^uint64(0) {
+		// No pool, a schedule modulated from cycle 0 (nothing shareable), or
+		// a constant schedule (no sweep to fork): the naive path is the fast
+		// path.
+		return runTransientMix(cfg, scale, scheme, sched, base, reqFactor)
+	}
+	// Pause a margin before the first rate deviation: an idle app jumps its
+	// clock to its next arrival and draws one arrival ahead, so pausing
+	// exactly at the deviation would often consume a draw past it (a draw the
+	// swapped schedule would have modulated differently), forcing the
+	// fallback re-warm. Eight mean interarrivals plus the scheduler quantum
+	// make the overshoot chance negligible (~e^-8) while keeping almost all
+	// of the quiescent prefix shared.
+	margin := uint64(8*base.MeanInterarrival) + cfg.StepQuantumCycles
+	if warmCycle <= margin {
+		return runTransientMix(cfg, scale, scheme, sched, base, reqFactor)
+	}
+	warmCycle -= margin
+	runCfg, specs, err := transientMixSpecs(cfg, scale, scheme, sched, base, reqFactor)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	key := fmt.Sprintf("transient-warm|%#v|%s|%#v|%v|%d|%v|%d",
+		runCfg, scheme.Name, base, reqFactor, scale.BatchROI, scale.Seed, warmCycle)
+	cp, err := pool.Checkpoint(key, func() (*sim.Checkpoint, error) {
+		return sim.WarmCheckpoint(runCfg, specs, scheme.NewPolicy(), warmCycle)
+	})
+	if err != nil {
+		return sim.Result{}, err
+	}
+	res, err := sim.RunFromCheckpointWithSchedule(cp, sched)
+	if errors.Is(err, sim.ErrScheduleSwapUnsafe) {
+		// The warm prefix consumed a draw past the quiescent boundary
+		// (possible when an idle app's clock overshoots the pause): re-warm
+		// naively. Any other error is a real failure and propagates.
+		return runTransientMix(cfg, scale, scheme, sched, base, reqFactor)
+	}
+	return res, err
 }
 
 // transientBaseline calibrates the latency-critical app the transient mixes
@@ -92,7 +155,7 @@ func transientBaseline(cfg sim.Config, scale Scale) (sim.LCBaseline, float64, er
 		return sim.LCBaseline{}, 0, err
 	}
 	reqFactor := scale.requestFactor() * 2
-	base, err := sim.MeasureLCBaseline(cfg, profile, profile.TargetLines(), 0.2, reqFactor)
+	base, err := sim.MeasureLCBaselinePooled(scale.Warm, cfg, profile, profile.TargetLines(), 0.2, reqFactor)
 	if err != nil {
 		return sim.LCBaseline{}, 0, err
 	}
@@ -180,6 +243,7 @@ func percentileOrZero(s *stats.Sample, p float64) float64 {
 // simulation landing in an index-addressed slot, so the tables are
 // bit-identical at any parallelism.
 func Fig7Transient(cfg sim.Config, scale Scale, sched workload.ScheduleSpec) ([]Table, error) {
+	scale = scale.withPool()
 	if err := sched.Validate(); err != nil {
 		return nil, err
 	}
@@ -291,13 +355,25 @@ func FlashMagnitudes() []float64 { return []float64{2, 4, 8} }
 // come back within 25% of steady ("-" when it never does inside the run).
 // The (magnitude, scheme) grid shards across the worker pool with
 // bit-identical results at any parallelism.
+//
+// With warm reuse on, the sweep exploits that every magnitude's schedule is
+// quiescent until the spike: each scheme warms once up to the spike onset and
+// every magnitude forks from that snapshot, eliminating the repeated warmup
+// (the schedule swap is verified per fork, falling back to a full re-warm if
+// unsafe, so the table is byte-identical either way).
 func FlashRecovery(cfg sim.Config, scale Scale) ([]Table, error) {
+	return FlashRecoveryAt(cfg, scale, 4, FlashMagnitudes())
+}
+
+// FlashRecoveryAt is FlashRecovery with the spike window and the magnitude
+// sweep exposed, so benchmarks (and tests) can shape the shared warm prefix.
+func FlashRecoveryAt(cfg sim.Config, scale Scale, spikeWindow uint64, mags []float64) ([]Table, error) {
+	scale = scale.withPool()
 	base, reqFactor, err := transientBaseline(cfg, scale)
 	if err != nil {
 		return nil, err
 	}
 	window := transientWindowCycles(cfg)
-	mags := FlashMagnitudes()
 	schemes := StandardSchemes()
 	type flashRow struct {
 		mag    float64
@@ -310,11 +386,11 @@ func FlashRecovery(cfg sim.Config, scale Scale) ([]Table, error) {
 		scheme := schemes[i%len(schemes)]
 		sched := workload.ScheduleSpec{
 			Kind:        workload.SchedFlash,
-			AtCycle:     4 * window,
+			AtCycle:     spikeWindow * window,
 			Mult:        mag,
 			DecayCycles: window,
 		}
-		res, err := runTransientMix(cfg, scale, scheme, sched, base, reqFactor)
+		res, err := runTransientMixWarmFork(scale.Warm, cfg, scale, scheme, sched, base, reqFactor)
 		if err != nil {
 			return err
 		}
@@ -357,8 +433,8 @@ func FlashRecovery(cfg sim.Config, scale Scale) ([]Table, error) {
 
 	t := Table{
 		ID: "flash",
-		Title: fmt.Sprintf("Flash-crowd recovery: spike at window 4, decay %d cycles, pooled p95 per phase (%d LC instances)",
-			window, transientLCInstances),
+		Title: fmt.Sprintf("Flash-crowd recovery: spike at window %d, decay %d cycles, pooled p95 per phase (%d LC instances)",
+			spikeWindow, window, transientLCInstances),
 		Header: []string{"spike_x", "scheme", "steady_p95", "spike_p95", "post_p95", "recovery_windows"},
 	}
 	for _, r := range rows {

@@ -1,0 +1,36 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// warmForkBenchSweep is the fig7-style five-scheme sweep BenchmarkWarmForkSweep
+// times: the five standard schemes driven through a flash-crowd magnitude
+// sweep whose spike hits late in the run, so the shared quiescent warmup
+// prefix dominates. With warm reuse on, each scheme warms once to the spike
+// onset and every magnitude forks from the snapshot; with it off, every
+// (scheme, magnitude) cell re-warms from cold. Outputs are byte-identical
+// (TestFlashWarmReuseDifferential locks this).
+func warmForkBenchSweep(b *testing.B, warmReuse bool) {
+	b.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Seed = 5
+	scale := Scale{RequestFactor: 0.05, MixesPerLC: 1, BatchROI: 120_000, LoadPoints: 3,
+		Seed: 5, Parallelism: 1, SubMixSharding: true, WarmReuse: warmReuse}
+	for i := 0; i < b.N; i++ {
+		if _, err := FlashRecoveryAt(cfg, scale, 22, []float64{2, 3, 4, 6, 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWarmForkSweep/warmreuse vs /nowarmreuse demonstrates the
+// wall-clock win of warm-state forking on a five-scheme schedule sweep (CI
+// uploads the pair as BENCH_warmfork.json). Parallelism is pinned to 1 so the
+// ratio measures work eliminated, not scheduling luck.
+func BenchmarkWarmForkSweep(b *testing.B) {
+	b.Run("warmreuse", func(b *testing.B) { warmForkBenchSweep(b, true) })
+	b.Run("nowarmreuse", func(b *testing.B) { warmForkBenchSweep(b, false) })
+}

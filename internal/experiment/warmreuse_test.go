@@ -1,0 +1,186 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// The differential net for warm-state reuse: every experiment path must
+// produce byte-identical rendered tables with -warmreuse on and off, at
+// parallelism 1 and 4. This is the safety property the checkpoint engine
+// claims (reuse is exact-identity memoization plus quiescence-verified
+// forking, never approximation), checked end to end per experiment; the
+// underlying golden digest constants are pinned by internal/sim's
+// checkpoint and golden tests.
+
+// renderTables flattens tables to one string so differences show as a plain
+// byte mismatch.
+func renderTables(tables []Table) string {
+	var sb strings.Builder
+	for _, t := range tables {
+		sb.WriteString(t.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// assertWarmReuseIdentical runs one experiment path naively and through the
+// warm pool at parallelism 1 and 4 and requires byte-identical output.
+func assertWarmReuseIdentical(t *testing.T, name string, reqFactor float64, run func(scale Scale) ([]Table, error)) {
+	t.Helper()
+	for _, par := range []int{1, 4} {
+		scale := microScale()
+		scale.RequestFactor = reqFactor
+		scale.Parallelism = par
+		scale.SubMixSharding = true
+
+		scale.WarmReuse = false
+		naive, err := run(scale)
+		if err != nil {
+			t.Fatalf("%s (naive, p%d): %v", name, par, err)
+		}
+		scale.WarmReuse = true
+		warm, err := run(scale)
+		if err != nil {
+			t.Fatalf("%s (warmreuse, p%d): %v", name, par, err)
+		}
+		if got, want := renderTables(warm), renderTables(naive); got != want {
+			t.Errorf("%s: warm-reuse output differs from the naive re-warm path at parallelism %d:\n--- naive ---\n%s\n--- warmreuse ---\n%s", name, par, want, got)
+		}
+	}
+}
+
+// TestFlashWarmReuseDifferential: the flash magnitude sweep is the
+// checkpoint-fork showcase (warm once per scheme, fork per magnitude), so its
+// differential is the most load-bearing.
+func TestFlashWarmReuseDifferential(t *testing.T) {
+	cfg := microConfig()
+	assertWarmReuseIdentical(t, "flash", 0.02, func(scale Scale) ([]Table, error) {
+		return FlashRecovery(cfg, scale)
+	})
+}
+
+// TestFig1WarmReuseDifferential: the load sweep memoizes the per-profile
+// calibration run across load points.
+func TestFig1WarmReuseDifferential(t *testing.T) {
+	cfg := microConfig()
+	assertWarmReuseIdentical(t, "fig1a", 0.02, func(scale Scale) ([]Table, error) {
+		return Fig1LoadLatency(cfg, scale)
+	})
+}
+
+// TestFig7WarmReuseDifferential covers the transient burst experiment.
+func TestFig7WarmReuseDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transient sweeps are slow")
+	}
+	cfg := microConfig()
+	sched := DefaultFig7Schedule(cfg)
+	assertWarmReuseIdentical(t, "fig7", 0.02, func(scale Scale) ([]Table, error) {
+		return Fig7Transient(cfg, scale, sched)
+	})
+}
+
+// TestFig14WarmReuseDifferential covers the hierarchy sweep (per-hierarchy
+// baselines through the pool).
+func TestFig14WarmReuseDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hierarchy sweeps are slow")
+	}
+	cfg := microConfig()
+	assertWarmReuseIdentical(t, "fig14", 0.02, func(scale Scale) ([]Table, error) {
+		return Fig14HierarchySweep(cfg, scale)
+	})
+}
+
+// TestClusterWarmReuseDifferential covers the tail-at-scale fan-out sweep
+// (node-level memoization across fan-out points cannot change the tables).
+func TestClusterWarmReuseDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster sweeps are slow")
+	}
+	cfg := microConfig()
+	schemes := []Scheme{StandardSchemes()[0], StandardSchemes()[4]} // LRU and Ubik
+	assertWarmReuseIdentical(t, "cluster", 0.04, func(scale Scale) ([]Table, error) {
+		return clusterTailTables(cfg, scale, schemes, 2, "masstree")
+	})
+}
+
+// TestHeteroWarmReuseDifferential covers the straggler experiment, where the
+// healthy nodes repeat between the uniform and straggler variants and are
+// simulated once under the pool.
+func TestHeteroWarmReuseDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster sweeps are slow")
+	}
+	cfg := microConfig()
+	assertWarmReuseIdentical(t, "hetero", 0.04, func(scale Scale) ([]Table, error) {
+		return clusterHeteroTables(cfg, scale, 2, "masstree")
+	})
+}
+
+// TestAblationWarmReuseDifferential covers the ablation sweep (shared
+// baselines through the pool; the two Ubik variants share one cache key
+// space, so this also guards against scheme-name collisions leaking results
+// across variants).
+func TestAblationWarmReuseDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweeps are slow")
+	}
+	cfg := microConfig()
+	assertWarmReuseIdentical(t, "abl-deboost", 0.03, func(scale Scale) ([]Table, error) {
+		table, err := AblationDeboost(cfg, scale)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{table}, nil
+	})
+}
+
+// TestFlashWarmForkActuallyForks asserts the engine is live, not just
+// falling back to the naive path: across a magnitude sweep at one scheme,
+// the warm pool must end up holding exactly one checkpoint per scheme.
+func TestFlashWarmForkActuallyForks(t *testing.T) {
+	cfg := microConfig()
+	scale := microScale()
+	scale.RequestFactor = 0.02
+	scale.WarmReuse = true
+	scale.Warm = sim.NewWarmPool()
+	if _, err := FlashRecovery(cfg, scale); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := scale.Warm.CheckpointCount(), len(StandardSchemes()); got != want {
+		t.Errorf("flash sweep created %d warm checkpoints, want one per scheme (%d)", got, want)
+	}
+}
+
+// TestRetimeArrivalsMatchesFreshProcess pins the schedule-swap primitive at
+// the workload level: a constant-schedule process retimed to a quiescent
+// burst draws the same arrivals as a process built with that schedule from
+// scratch, as long as draws stay inside the quiescent prefix.
+func TestRetimeArrivalsMatchesFreshProcess(t *testing.T) {
+	sched := workload.ScheduleSpec{Kind: workload.SchedBurst, AtCycle: 1 << 40, DurationCycles: 1 << 20, Mult: 3}
+	plain, err := workload.NewScheduledArrivals(10_000, 7, workload.ScheduleSpec{}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := workload.NewScheduledArrivals(10_000, 7, sched, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapped, ok := workload.RetimeArrivals(plain, sched)
+	if !ok {
+		t.Fatal("retiming a Poisson process to a quiescent burst should succeed")
+	}
+	prevA, prevB := uint64(0), uint64(0)
+	for i := 0; i < 1000; i++ {
+		prevA = fresh.Next(prevA)
+		prevB = swapped.Next(prevB)
+		if prevA != prevB {
+			t.Fatalf("arrival %d: fresh %d != swapped %d", i, prevA, prevB)
+		}
+	}
+}

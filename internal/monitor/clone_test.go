@@ -1,0 +1,56 @@
+package monitor
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestUMONCloneMidEpoch locks the mid-epoch corner the checkpoint engine
+// must capture: a UMON cloned between two reconfiguration snapshots carries
+// both the warm shadow tags and the partially-accumulated window counters,
+// so windowed miss-curve queries (curves since a snapshot taken before the
+// clone) answer identically on both copies — and accesses after the clone
+// stay isolated.
+func TestUMONCloneMidEpoch(t *testing.T) {
+	u, err := NewUMON(4096, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := func(i int) uint64 { return uint64(i) * 97 }
+	for i := 0; i < 20_000; i++ {
+		u.Access(addr(i % 700))
+	}
+	epoch := u.Snapshot() // the reconfiguration boundary
+	for i := 0; i < 7_000; i++ {
+		u.Access(addr(i % 500)) // mid-epoch traffic
+	}
+
+	c := u.Clone()
+	if !reflect.DeepEqual(u.Snapshot(), c.Snapshot()) {
+		t.Fatal("clone's counters differ from the original's")
+	}
+	if !reflect.DeepEqual(u.MissCurve(epoch), c.MissCurve(epoch)) {
+		t.Fatal("clone's mid-epoch windowed miss curve differs")
+	}
+	if got, want := c.MissesAtSizeSince(epoch, 2048), u.MissesAtSizeSince(epoch, 2048); got != want {
+		t.Fatalf("mid-epoch misses-at-size differ: clone %v, original %v", got, want)
+	}
+
+	// Divergent traffic after the clone must stay isolated — and identical
+	// traffic must keep them identical (the shadow tags were deep-copied).
+	before := c.Snapshot()
+	for i := 0; i < 5_000; i++ {
+		u.Access(addr(i))
+	}
+	if !reflect.DeepEqual(c.Snapshot(), before) {
+		t.Fatal("accesses to the original leaked into the clone")
+	}
+	u2 := c.Clone()
+	for i := 0; i < 5_000; i++ {
+		c.Access(addr(i))
+		u2.Access(addr(i))
+	}
+	if !reflect.DeepEqual(c.Snapshot(), u2.Snapshot()) {
+		t.Fatal("identical traffic on clone and re-clone diverged: shadow tags were not copied faithfully")
+	}
+}

@@ -61,6 +61,12 @@ func (p *MLPProfiler) CumulativeAvg(fallback float64) float64 {
 	return p.stallCycles / float64(p.misses)
 }
 
+// Clone returns an independent copy of the profiler.
+func (p *MLPProfiler) Clone() *MLPProfiler {
+	c := *p
+	return &c
+}
+
 // Reset clears the profiler.
 func (p *MLPProfiler) Reset() {
 	p.misses = 0

@@ -44,6 +44,14 @@ func (r *ReuseProfiler) Record(hit bool, age uint64) {
 	r.hitsByAge[age]++
 }
 
+// Clone returns a deep copy of the profiler.
+func (r *ReuseProfiler) Clone() *ReuseProfiler {
+	c := *r
+	c.hitsByAge = make([]uint64, len(r.hitsByAge))
+	copy(c.hitsByAge, r.hitsByAge)
+	return &c
+}
+
 // Accesses returns the total number of recorded accesses.
 func (r *ReuseProfiler) Accesses() uint64 { return r.accesses }
 

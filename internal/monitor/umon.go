@@ -146,6 +146,19 @@ func (u *UMON) Access(addr uint64) {
 // Snapshot returns a copy of the monitor's counters.
 func (u *UMON) Snapshot() UMONSnapshot { return u.state.clone() }
 
+// Clone returns a deep copy of the monitor: shadow tags and counters are
+// duplicated so accesses presented to either copy cannot affect the other.
+func (u *UMON) Clone() *UMON {
+	c := *u
+	c.tags = make([][]umonTag, len(u.tags))
+	for i, set := range u.tags {
+		c.tags[i] = make([]umonTag, len(set))
+		copy(c.tags[i], set)
+	}
+	c.state = u.state.clone()
+	return &c
+}
+
 // ResetCounters clears the counters but keeps the shadow tags warm (matching
 // the paper's observation that UMON tags are not flushed when an application
 // goes idle).

@@ -17,3 +17,6 @@ func (*LRU) Name() string { return "LRU" }
 // Reconfigure implements Policy. It returns no resizes: with an unpartitioned
 // array there is nothing to manage.
 func (*LRU) Reconfigure(View) []Resize { return nil }
+
+// Clone implements Policy (the policy is stateless).
+func (*LRU) Clone() Policy { return NewLRU() }

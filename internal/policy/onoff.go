@@ -29,6 +29,25 @@ func NewOnOff() *OnOff { return &OnOff{Buckets: 256} }
 // Name implements Policy.
 func (*OnOff) Name() string { return "OnOff" }
 
+// Clone implements Policy: the precomputed per-active-count allocation table
+// and the app index slices are deep-copied, so a forked run's transitions
+// (which read the table) and reconfigurations (which rebuild it) cannot alias
+// the original's state. This is the mid-epoch state a checkpoint must carry —
+// after a Reconfigure, the table is what OnActive/OnIdle switch between until
+// the next interval.
+func (p *OnOff) Clone() Policy {
+	c := &OnOff{Buckets: p.Buckets}
+	if p.precomputed != nil {
+		c.precomputed = make([][]uint64, len(p.precomputed))
+		for i, alloc := range p.precomputed {
+			c.precomputed[i] = append([]uint64(nil), alloc...)
+		}
+	}
+	c.batchApps = append([]int(nil), p.batchApps...)
+	c.lcApps = append([]int(nil), p.lcApps...)
+	return c
+}
+
 // Reconfigure implements Policy: it rebuilds the per-active-count batch
 // allocation table and applies the allocation for the current active set.
 func (p *OnOff) Reconfigure(v View) []Resize {

@@ -18,6 +18,12 @@ func NewStaticLC() *StaticLC { return &StaticLC{Buckets: 256} }
 // Name implements Policy.
 func (*StaticLC) Name() string { return "StaticLC" }
 
+// Clone implements Policy (the policy's only state is its bucket count).
+func (p *StaticLC) Clone() Policy {
+	c := *p
+	return &c
+}
+
 // Reconfigure implements Policy.
 func (p *StaticLC) Reconfigure(v View) []Resize {
 	n := v.NumApps()

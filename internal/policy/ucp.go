@@ -23,6 +23,13 @@ func NewUCP() *UCP { return &UCP{Buckets: 256} }
 // Name implements Policy.
 func (*UCP) Name() string { return "UCP" }
 
+// Clone implements Policy. UCP recomputes everything from fresh monitoring
+// data each interval; its only state is the bucket granularity.
+func (p *UCP) Clone() Policy {
+	c := *p
+	return &c
+}
+
 // Reconfigure implements Policy.
 func (p *UCP) Reconfigure(v View) []Resize {
 	n := v.NumApps()

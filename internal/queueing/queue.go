@@ -82,6 +82,20 @@ func (q *FIFO) Peek() *Request {
 	return q.items[0]
 }
 
+// Clone returns a deep copy of the queue; every queued request is duplicated
+// so mutations through either queue cannot alias the other.
+func (q *FIFO) Clone() FIFO {
+	if len(q.items) == 0 {
+		return FIFO{}
+	}
+	items := make([]*Request, len(q.items))
+	for i, r := range q.items {
+		cp := *r
+		items[i] = &cp
+	}
+	return FIFO{items: items}
+}
+
 // Recorder collects completed requests and exposes the latency statistics the
 // paper reports: mean latency, tail latency (mean beyond a percentile), and
 // service-time distributions. With a window width configured it additionally
@@ -116,6 +130,26 @@ func NewRecorderWindowed(n int, windowCycles uint64) *Recorder {
 		rec.windows = stats.NewWindowed(windowCycles)
 	}
 	return rec
+}
+
+// Clone returns a deep copy of the recorder (samples, windows and the
+// per-request slice); recording into either copy cannot affect the other.
+func (rec *Recorder) Clone() *Recorder {
+	c := &Recorder{
+		latencies:    rec.latencies.Clone(),
+		serviceTimes: rec.serviceTimes.Clone(),
+		queueDelays:  rec.queueDelays.Clone(),
+		completed:    rec.completed,
+		warmups:      rec.warmups,
+	}
+	if rec.windows != nil {
+		c.windows = rec.windows.Clone()
+	}
+	if rec.perRequest != nil {
+		c.perRequest = make([]float64, len(rec.perRequest), cap(rec.perRequest))
+		copy(c.perRequest, rec.perRequest)
+	}
+	return c
 }
 
 // Record adds a completed request; warmup requests are counted but not

@@ -64,10 +64,26 @@ func alignLines(lines uint64, llc cache.ArrayConfig) uint64 {
 	return lines
 }
 
+// isolationKey builds the warm-pool identity of an isolation-family run: the
+// full isolated machine configuration (every Config field is a plain value,
+// so %#v captures it exactly), the complete application profile, and the
+// run parameters. Two isolation runs with equal keys are the same
+// deterministic computation.
+func isolationKey(kind string, iso Config, profile workload.LCProfile, args ...any) string {
+	return fmt.Sprintf("%s|%#v|%#v|%v", kind, iso, profile, args)
+}
+
 // CalibrateService measures an application's mean request service time when it
 // runs alone with a warm private LLC of targetLines lines, using widely spaced
 // arrivals so queueing never occurs.
 func CalibrateService(cfg Config, profile workload.LCProfile, targetLines uint64, requestFactor float64) (float64, error) {
+	return CalibrateServicePooled(nil, cfg, profile, targetLines, requestFactor)
+}
+
+// CalibrateServicePooled is CalibrateService memoized through a warm pool:
+// the calibration run does not depend on the offered load, so a load sweep
+// that calibrates per point pays for the run once. A nil pool disables reuse.
+func CalibrateServicePooled(pool *WarmPool, cfg Config, profile workload.LCProfile, targetLines uint64, requestFactor float64) (float64, error) {
 	iso := isolationConfig(cfg, targetLines)
 	spec := AppSpec{
 		LC:               &profile,
@@ -79,7 +95,9 @@ func CalibrateService(cfg Config, profile workload.LCProfile, targetLines uint64
 	// Use an enormous interarrival so each request finds an idle server: the
 	// measured latency is then pure service time.
 	spec.MeanInterarrival = 1e12
-	res, err := RunMix(iso, []AppSpec{spec}, policy.NewLRU())
+	res, err := pool.Result(isolationKey("calib", iso, profile, targetLines, requestFactor), func() (Result, error) {
+		return RunMix(iso, []AppSpec{spec}, policy.NewLRU())
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -95,6 +113,13 @@ func CalibrateService(cfg Config, profile workload.LCProfile, targetLines uint64
 // seed a mix instance would use, so its latencies are directly comparable to
 // that instance's latencies in a mix (same requests, same arrival times).
 func RunIsolatedLC(cfg Config, profile workload.LCProfile, targetLines uint64, meanInterarrival, requestFactor float64, seed uint64) (Result, error) {
+	return RunIsolatedLCPooled(nil, cfg, profile, targetLines, meanInterarrival, requestFactor, seed)
+}
+
+// RunIsolatedLCPooled is RunIsolatedLC memoized through a warm pool, so
+// experiments that need the same instance baseline (service CDFs, reuse
+// breakdowns, pooled isolation tails) run it once. A nil pool disables reuse.
+func RunIsolatedLCPooled(pool *WarmPool, cfg Config, profile workload.LCProfile, targetLines uint64, meanInterarrival, requestFactor float64, seed uint64) (Result, error) {
 	if targetLines == 0 {
 		targetLines = profile.TargetLines()
 	}
@@ -106,7 +131,9 @@ func RunIsolatedLC(cfg Config, profile workload.LCProfile, targetLines uint64, m
 		TargetLines:      targetLines,
 		Seed:             seed,
 	}
-	return RunMix(iso, []AppSpec{spec}, policy.NewLRU())
+	return pool.Result(isolationKey("iso", iso, profile, targetLines, meanInterarrival, requestFactor, seed), func() (Result, error) {
+		return RunMix(iso, []AppSpec{spec}, policy.NewLRU())
+	})
 }
 
 // RunIsolatedLCShards runs one isolation instance per seed — the per-instance
@@ -115,10 +142,16 @@ func RunIsolatedLC(cfg Config, profile workload.LCProfile, targetLines uint64, m
 // with its own seed, so the result slice (returned in seed order) is
 // bit-identical at any parallelism level.
 func RunIsolatedLCShards(cfg Config, profile workload.LCProfile, targetLines uint64, meanInterarrival, requestFactor float64, seeds []uint64, parallelism int) ([]Result, error) {
+	return RunIsolatedLCShardsPooled(nil, cfg, profile, targetLines, meanInterarrival, requestFactor, seeds, parallelism)
+}
+
+// RunIsolatedLCShardsPooled is RunIsolatedLCShards with each per-seed
+// instance memoized through a warm pool. A nil pool disables reuse.
+func RunIsolatedLCShardsPooled(pool *WarmPool, cfg Config, profile workload.LCProfile, targetLines uint64, meanInterarrival, requestFactor float64, seeds []uint64, parallelism int) ([]Result, error) {
 	results := make([]Result, len(seeds))
 	err := parallel.For(len(seeds), parallelism, func(i int) error {
 		var err error
-		results[i], err = RunIsolatedLC(cfg, profile, targetLines, meanInterarrival, requestFactor, seeds[i])
+		results[i], err = RunIsolatedLCPooled(pool, cfg, profile, targetLines, meanInterarrival, requestFactor, seeds[i])
 		return err
 	})
 	if err != nil {
@@ -133,10 +166,17 @@ func RunIsolatedLCShards(cfg Config, profile workload.LCProfile, targetLines uin
 // load, mirroring the paper's methodology ("we run each app alone with a 2 MB
 // LLC, and find the request rates that produce 20% and 60% loads").
 func MeasureLCBaseline(cfg Config, profile workload.LCProfile, targetLines uint64, load, requestFactor float64) (LCBaseline, error) {
+	return MeasureLCBaselinePooled(nil, cfg, profile, targetLines, load, requestFactor)
+}
+
+// MeasureLCBaselinePooled is MeasureLCBaseline with both of its runs (the
+// load-independent service calibration and the per-load baseline) memoized
+// through a warm pool. A nil pool disables reuse.
+func MeasureLCBaselinePooled(pool *WarmPool, cfg Config, profile workload.LCProfile, targetLines uint64, load, requestFactor float64) (LCBaseline, error) {
 	if targetLines == 0 {
 		targetLines = profile.TargetLines()
 	}
-	meanService, err := CalibrateService(cfg, profile, targetLines, requestFactor)
+	meanService, err := CalibrateServicePooled(pool, cfg, profile, targetLines, requestFactor)
 	if err != nil {
 		return LCBaseline{}, err
 	}
@@ -153,7 +193,9 @@ func MeasureLCBaseline(cfg Config, profile workload.LCProfile, targetLines uint6
 		TargetLines:      targetLines,
 		Seed:             workload.SplitSeed(cfg.Seed, 0xBA5E),
 	}
-	res, err := RunMix(iso, []AppSpec{spec}, policy.NewLRU())
+	res, err := pool.Result(isolationKey("base", iso, profile, targetLines, load, interarrival, requestFactor), func() (Result, error) {
+		return RunMix(iso, []AppSpec{spec}, policy.NewLRU())
+	})
 	if err != nil {
 		return LCBaseline{}, err
 	}
@@ -176,13 +218,21 @@ func MeasureLCBaseline(cfg Config, profile workload.LCProfile, targetLines uint6
 // the given size and returns its IPC over its region of interest — the
 // denominator of the weighted-speedup metric.
 func MeasureBatchBaselineIPC(cfg Config, profile workload.BatchProfile, lines uint64, roiInstructions uint64) (float64, error) {
+	return MeasureBatchBaselineIPCPooled(nil, cfg, profile, lines, roiInstructions)
+}
+
+// MeasureBatchBaselineIPCPooled is MeasureBatchBaselineIPC memoized through a
+// warm pool. A nil pool disables reuse.
+func MeasureBatchBaselineIPCPooled(pool *WarmPool, cfg Config, profile workload.BatchProfile, lines uint64, roiInstructions uint64) (float64, error) {
 	iso := isolationConfig(cfg, lines)
 	spec := AppSpec{
 		Batch:           &profile,
 		ROIInstructions: roiInstructions,
 		Seed:            workload.SplitSeed(cfg.Seed, 0xBEEF),
 	}
-	res, err := RunMix(iso, []AppSpec{spec}, policy.NewLRU())
+	res, err := pool.Result(fmt.Sprintf("batch|%#v|%#v|%d", iso, profile, roiInstructions), func() (Result, error) {
+		return RunMix(iso, []AppSpec{spec}, policy.NewLRU())
+	})
 	if err != nil {
 		return 0, err
 	}

@@ -80,6 +80,37 @@ type Result struct {
 	ForcedEvictionFraction float64
 }
 
+// Clone returns a deep copy of the result: samples, window series and
+// latency slices are all duplicated. Warm-pool hits hand each consumer a
+// clone so one consumer's in-place percentile sorting (or pooling) cannot
+// race another's.
+func (r Result) Clone() Result {
+	c := r
+	c.Apps = make([]AppResult, len(r.Apps))
+	for i, a := range r.Apps {
+		ca := a
+		if a.Latencies != nil {
+			ca.Latencies = a.Latencies.Clone()
+		}
+		if a.ServiceTimes != nil {
+			ca.ServiceTimes = a.ServiceTimes.Clone()
+		}
+		ca.RequestLatencies = append([]float64(nil), a.RequestLatencies...)
+		ca.ReuseBreakdown = append([]float64(nil), a.ReuseBreakdown...)
+		ca.Windows = append([]stats.WindowStat(nil), a.Windows...)
+		if a.WindowSamples != nil {
+			ca.WindowSamples = make([]*stats.Sample, len(a.WindowSamples))
+			for j, s := range a.WindowSamples {
+				if s != nil {
+					ca.WindowSamples[j] = s.Clone()
+				}
+			}
+		}
+		c.Apps[i] = ca
+	}
+	return c
+}
+
 // LCResults returns the latency-critical app results.
 func (r Result) LCResults() []AppResult {
 	var out []AppResult

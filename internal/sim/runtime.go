@@ -75,6 +75,11 @@ type appRuntime struct {
 	recorder           *queueing.Recorder
 	active             bool
 	accessesSinceCheck uint64
+	// maxDrawPrev is the largest `prev` this app has passed to its arrival
+	// process. Schedule-swap forking consults it: a checkpoint can be
+	// replayed under a different load schedule only if every draw so far saw
+	// the same (unit) rate multiplier under both schedules.
+	maxDrawPrev uint64
 
 	// Batch region of interest. roiReached records that the app has retired
 	// its region of interest (it keeps running — and contending for cache —
@@ -207,9 +212,62 @@ func (a *appRuntime) enqueueArrivals(now uint64, coalesce uint64) {
 		}
 		a.queue.Push(req)
 		a.generated++
+		a.maxDrawPrev = a.nextArrivalRaw
 		a.nextArrivalRaw = a.arrivals.Next(a.nextArrivalRaw)
 		a.nextArrivalVisible = a.nextArrivalRaw + coalesce
 	}
+}
+
+// clone returns a deep copy of the app runtime bound to the forked run's
+// shared LLC. Every piece of mutable state — streams and their RNG cursors,
+// the arrival process, monitoring hardware, private cache levels, the request
+// queue and recorder — is duplicated; immutable configuration (the spec's
+// profile pointers, precomputed cycle costs) is shared. It fails only when
+// the slot's arrival process cannot be duplicated (a non-clonable custom
+// ArrivalProcess).
+func (a *appRuntime) clone(llc cache.Cache) (*appRuntime, error) {
+	c := *a
+	if a.lcApp != nil {
+		c.lcApp = a.lcApp.Clone()
+		c.stream = c.lcApp.Stream()
+	}
+	if a.batchApp != nil {
+		c.batchApp = a.batchApp.Clone()
+		c.stream = c.batchApp.Stream()
+	}
+	if a.hier != nil {
+		c.hier = a.hier.CloneWithLLC(llc)
+	}
+	c.umon = a.umon.Clone()
+	c.mlp = a.mlp.Clone()
+	if a.reuse != nil {
+		c.reuse = a.reuse.Clone()
+	}
+	c.umonAtReconfig = a.umonAtReconfig
+	if a.umonAtReconfig.HitsAtWay != nil {
+		c.umonAtReconfig.HitsAtWay = append([]uint64(nil), a.umonAtReconfig.HitsAtWay...)
+	}
+	c.queue = a.queue.Clone()
+	if a.current != nil {
+		cur := *a.current
+		c.current = &cur
+	}
+	if a.arrivals != nil {
+		ca, ok := a.arrivals.(workload.ClonableArrival)
+		if !ok {
+			return nil, fmt.Errorf("sim: app %q has a non-clonable arrival process (%T); checkpointing requires workload.ClonableArrival", a.spec.Name(), a.arrivals)
+		}
+		c.arrivals = ca.CloneArrival()
+		if a.spec.Arrivals != nil {
+			// An explicit stream lives in the spec as well; point the forked
+			// spec at the forked cursor so nothing aliases the parent.
+			c.spec.Arrivals = c.arrivals
+		}
+	}
+	if a.recorder != nil {
+		c.recorder = a.recorder.Clone()
+	}
+	return &c, nil
 }
 
 // startNextRequest pops the next queued request and prepares its access budget.

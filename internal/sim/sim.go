@@ -245,7 +245,33 @@ func (s *Simulator) applyResizes(resizes []policy.Resize) {
 // the reconfiguration/termination checks over runs of same-app accesses
 // instead of paying three O(N) scans per access. With a zero quantum the
 // interleaving is exactly the sequential smallest-clock-first order.
+//
+// Run may be called on a simulator previously paused by RunUntil: the
+// scheduler state is rebuilt from the per-app clocks (a pure function of
+// them), so a paused-and-resumed run retraces exactly the trajectory an
+// uninterrupted run takes.
 func (s *Simulator) Run() (Result, error) {
+	if err := s.runLoop(^uint64(0)); err != nil {
+		return Result{}, err
+	}
+	return s.collect(), nil
+}
+
+// RunUntil advances the simulation until the least-advanced application's
+// clock reaches stopCycle (or the run completes, whichever is first) and
+// pauses. Pausing happens only at scheduler pop boundaries — the exact points
+// an uninterrupted run re-evaluates which application to step — so resuming
+// with Run (or another RunUntil) is bit-identical to never having paused.
+// This is the warm boundary primitive: run the shared warmup prefix once,
+// checkpoint, and fork the measured remainder.
+func (s *Simulator) RunUntil(stopCycle uint64) error {
+	return s.runLoop(stopCycle)
+}
+
+// runLoop is the scheduler loop behind Run and RunUntil, stopping (with every
+// application pushed back on the heap) once the minimum local clock reaches
+// stop.
+func (s *Simulator) runLoop(stop uint64) error {
 	s.startSchedule()
 	quantum := s.cfg.StepQuantumCycles
 	maxCycles := s.cfg.MaxCycles
@@ -253,6 +279,13 @@ func (s *Simulator) Run() (Result, error) {
 		a := s.popNext()
 		if a == nil {
 			break
+		}
+		if a.clock >= stop {
+			// a holds the minimum clock: the whole machine has reached the
+			// pause boundary. Push it back so the heap invariant (every
+			// not-done app queued) holds for the resume's rebuild.
+			s.pushApp(a)
+			return nil
 		}
 		s.running = a
 		// a holds the minimum clock, so it carries the global time: fire the
@@ -262,7 +295,7 @@ func (s *Simulator) Run() (Result, error) {
 		}
 		if maxCycles > 0 && a.clock > maxCycles {
 			s.running = nil
-			return Result{}, fmt.Errorf("sim: exceeded MaxCycles=%d; configuration is likely unstable (offered load too high)", maxCycles)
+			return fmt.Errorf("sim: exceeded MaxCycles=%d; configuration is likely unstable (offered load too high)", maxCycles)
 		}
 		// The batch horizon: a runs while it would still win the heap within
 		// the quantum's slack.
@@ -302,7 +335,7 @@ func (s *Simulator) Run() (Result, error) {
 			s.pushApp(a)
 		}
 	}
-	return s.collect(), nil
+	return nil
 }
 
 // stepBatch advances a batch application by one LLC access.

@@ -27,6 +27,16 @@ func NewSample(n int) *Sample {
 	return &Sample{values: make([]float64, 0, n)}
 }
 
+// Clone returns a deep copy of the sample: further observations (and the
+// in-place sorting percentile queries perform) on either copy cannot affect
+// the other.
+func (s *Sample) Clone() *Sample {
+	c := *s
+	c.values = make([]float64, len(s.values))
+	copy(c.values, s.values)
+	return &c
+}
+
 // Add appends one observation.
 func (s *Sample) Add(v float64) {
 	s.values = append(s.values, v)

@@ -1,9 +1,6 @@
 package workload
 
-import (
-	"fmt"
-	"math/rand"
-)
+import "fmt"
 
 // ArrivalProcess generates request arrival times for an open-loop latency-
 // critical server. The paper's methodology (Section 3.2) uses exponential
@@ -15,11 +12,21 @@ type ArrivalProcess interface {
 	Next(prev uint64) uint64
 }
 
+// ClonableArrival is an arrival process that can be deep-copied mid-stream:
+// the clone continues the identical arrival sequence independently of the
+// original. Every built-in process implements it; the simulator's
+// checkpoint/fork engine requires it of any slot it snapshots.
+type ClonableArrival interface {
+	ArrivalProcess
+	// CloneArrival returns an independent copy continuing the same sequence.
+	CloneArrival() ArrivalProcess
+}
+
 // PoissonArrivals produces exponential interarrival times with the given mean
 // (in cycles).
 type PoissonArrivals struct {
 	MeanInterarrival float64
-	rng              *rand.Rand
+	rng              *Rand
 }
 
 // NewPoissonArrivals returns a Poisson arrival process with the given mean
@@ -28,7 +35,7 @@ func NewPoissonArrivals(meanInterarrival float64, seed uint64) (*PoissonArrivals
 	if meanInterarrival <= 0 {
 		return nil, fmt.Errorf("workload: mean interarrival must be positive, got %v", meanInterarrival)
 	}
-	return &PoissonArrivals{MeanInterarrival: meanInterarrival, rng: NewRand(seed)}, nil
+	return &PoissonArrivals{MeanInterarrival: meanInterarrival, rng: NewClonableRand(seed)}, nil
 }
 
 // Next implements ArrivalProcess.
@@ -38,6 +45,11 @@ func (p *PoissonArrivals) Next(prev uint64) uint64 {
 		gap = 1
 	}
 	return prev + uint64(gap)
+}
+
+// CloneArrival implements ClonableArrival.
+func (p *PoissonArrivals) CloneArrival() ArrivalProcess {
+	return &PoissonArrivals{MeanInterarrival: p.MeanInterarrival, rng: p.rng.Clone()}
 }
 
 // ModulatedArrivals produces exponential interarrival times whose
@@ -50,7 +62,7 @@ func (p *PoissonArrivals) Next(prev uint64) uint64 {
 // PoissonArrivals seeded identically, bit for bit.
 type ModulatedArrivals struct {
 	MeanInterarrival float64
-	rng              *rand.Rand
+	rng              *Rand
 	eval             *ScheduleEval
 }
 
@@ -66,9 +78,14 @@ func NewModulatedArrivals(meanInterarrival float64, seed uint64, spec ScheduleSp
 	}
 	return &ModulatedArrivals{
 		MeanInterarrival: meanInterarrival,
-		rng:              NewRand(seed),
+		rng:              NewClonableRand(seed),
 		eval:             spec.NewEval(schedSeed),
 	}, nil
+}
+
+// CloneArrival implements ClonableArrival.
+func (m *ModulatedArrivals) CloneArrival() ArrivalProcess {
+	return &ModulatedArrivals{MeanInterarrival: m.MeanInterarrival, rng: m.rng.Clone(), eval: m.eval.Clone()}
 }
 
 // Next implements ArrivalProcess.
@@ -141,6 +158,12 @@ func NewReplayArrivals(times []uint64) *ReplayArrivals {
 	return &ReplayArrivals{times: times}
 }
 
+// CloneArrival implements ClonableArrival. The (immutable) time slice is
+// shared; only the replay cursor is copied.
+func (r *ReplayArrivals) CloneArrival() ArrivalProcess {
+	return &ReplayArrivals{times: r.times, pos: r.pos}
+}
+
 // Next implements ArrivalProcess.
 func (r *ReplayArrivals) Next(prev uint64) uint64 {
 	if r.pos >= len(r.times) {
@@ -166,6 +189,41 @@ func (u UniformArrivals) Next(prev uint64) uint64 {
 		return prev + 1
 	}
 	return prev + u.Interarrival
+}
+
+// CloneArrival implements ClonableArrival (the process is a stateless value).
+func (u UniformArrivals) CloneArrival() ArrivalProcess { return u }
+
+// RetimeArrivals rebuilds an arrival process under a different load schedule
+// while preserving its random-draw cursor — the schedule-swap half of
+// warm-state forking: a checkpoint warmed under one schedule is forked into a
+// sweep point by swapping the spec. The caller is responsible for validity
+// (both old and new schedules must have been quiescent — multiplier 1 — over
+// every `prev` the process has already been asked about; see
+// ScheduleSpec.QuiescentUntil). MMPP targets are rejected: their dwell state
+// cannot be continued across a swap. ok is false when the process or spec
+// does not support swapping.
+func RetimeArrivals(p ArrivalProcess, spec ScheduleSpec) (ArrivalProcess, bool) {
+	if spec.Kind == SchedMMPP {
+		return nil, false
+	}
+	switch src := p.(type) {
+	case *PoissonArrivals:
+		if spec.IsConstant() {
+			return src.CloneArrival(), true
+		}
+		return &ModulatedArrivals{MeanInterarrival: src.MeanInterarrival, rng: src.rng.Clone(), eval: spec.NewEval(0)}, true
+	case *ModulatedArrivals:
+		if spec.IsConstant() {
+			// A modulated process that has only ever seen multiplier 1 is
+			// draw-for-draw a Poisson process (as long as gaps stay below the
+			// modulator's overflow clamp, which quiescent gaps do).
+			return &PoissonArrivals{MeanInterarrival: src.MeanInterarrival, rng: src.rng.Clone()}, true
+		}
+		return &ModulatedArrivals{MeanInterarrival: src.MeanInterarrival, rng: src.rng.Clone(), eval: spec.NewEval(0)}, true
+	default:
+		return nil, false
+	}
 }
 
 // MeanInterarrivalForLoad converts a target offered load rho (0 < rho < 1) and

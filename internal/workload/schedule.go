@@ -3,7 +3,6 @@ package workload
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 	"strconv"
 	"strings"
@@ -331,7 +330,7 @@ type ScheduleEval struct {
 
 	// MMPP state: rng draws the dwell times, high is the current state, and
 	// phaseEnd is when the next state flip happens.
-	rng      *rand.Rand
+	rng      *Rand
 	high     bool
 	phaseEnd uint64
 }
@@ -342,10 +341,44 @@ type ScheduleEval struct {
 func (s ScheduleSpec) NewEval(seed uint64) *ScheduleEval {
 	e := &ScheduleEval{spec: s}
 	if s.Kind == SchedMMPP {
-		e.rng = NewRand(seed)
+		e.rng = NewClonableRand(seed)
 		e.phaseEnd = e.dwell(s.OffCycles) // start in the low state
 	}
 	return e
+}
+
+// Clone returns an independent copy of the evaluator, continuing the
+// identical multiplier trajectory (including the MMPP dwell stream).
+func (e *ScheduleEval) Clone() *ScheduleEval {
+	c := *e
+	if e.rng != nil {
+		c.rng = e.rng.Clone()
+	}
+	return &c
+}
+
+// QuiescentUntil returns the first cycle at which the schedule's multiplier
+// can deviate from 1: the constant schedule never does (MaxUint64), one-shot
+// and repeating bursts, flash crowds and unit-start ramps are quiescent until
+// their AtCycle, and shapes that modulate from the start (diurnal, MMPP,
+// ramps with From != 1) return 0. Warm-state forking uses this to decide
+// whether a checkpoint taken under one schedule can be replayed under
+// another: two schedules that are both quiescent past every arrival draw the
+// checkpoint consumed are interchangeable up to that point.
+func (s ScheduleSpec) QuiescentUntil() uint64 {
+	switch s.Kind {
+	case "", SchedConstant:
+		return math.MaxUint64
+	case SchedBurst, SchedFlash:
+		return s.AtCycle
+	case SchedRamp:
+		if s.From == 1 {
+			return s.AtCycle
+		}
+		return 0
+	default: // diurnal, MMPP: modulated from the first cycle
+		return 0
+	}
 }
 
 // dwell draws an exponentially distributed dwell time with the given mean,
