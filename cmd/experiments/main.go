@@ -9,6 +9,16 @@
 //	experiments -exp all -scale default -csv
 //	experiments -exp fig7 -loadsched 'burst:at=8e6,dur=8e6,x=3'
 //	experiments -exp cluster,hetero -scale quick -json
+//	experiments -scenario examples/scenarios/flash-crowd-failure.json -report out/
+//	experiments -scenario examples/scenarios/fail-slow.json -validate
+//
+// With -scenario the binary runs one declarative scenario file (see
+// examples/scenarios and DESIGN.md) instead of the paper's experiment tables:
+// it prints the scenario's per-scheme summary, per-slot breakdown and
+// per-window tails (as text, -csv or -json like any experiment), and -report
+// additionally writes a standalone HTML + CSV report into a directory.
+// -validate parses and validates the scenario without simulating anything —
+// the CI check for shipped scenario files.
 package main
 
 import (
@@ -18,11 +28,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/cache"
 	"repro/internal/experiment"
 	"repro/internal/prof"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -43,23 +55,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		expList     = fs.String("exp", "all", "comma-separated experiment ids (table1,table2,fig1a,fig1b,fig2,fig7,flash,fig9,table3,fig10,fig11,fig12,fig13,fig14,cluster,hetero,abl-deboost,abl-bound,utilization) or 'all'")
-		scaleName   = fs.String("scale", "quick", "evaluation scale: quick, default, or full")
-		seed        = fs.Uint64("seed", 1, "top-level random seed")
-		reqOverride = fs.Float64("requests", 0, "override the scale's request-count factor (0 = scale default)")
-		loadSched   = fs.String("loadsched", "", "load schedule for the fig7 transient experiment (default: a 3x burst aligned to the stat windows); see ubiksim -loadsched for the syntax")
-		parallelism = fs.Int("parallelism", 0, "worker pool size for mix sweeps, load sweeps and isolation baselines (0 = GOMAXPROCS); results are identical at any setting")
-		noShard     = fs.Bool("noshard", false, "disable sub-mix sharding (load points and isolation baselines run serially)")
-		warmReuse   = fs.Bool("warmreuse", true, "reuse warm simulator state across sweep points: memoize exactly-repeated calibration/isolation runs and fork schedule sweeps from per-scheme warm checkpoints; results are byte-identical either way")
-		noWarmReuse = fs.Bool("nowarmreuse", false, "disable warm-state reuse (the naive re-warm path; overrides -warmreuse)")
-		csv         = fs.Bool("csv", false, "emit CSV instead of aligned text")
-		jsonOut     = fs.Bool("json", false, "emit one JSON array of all result tables instead of aligned text")
-		list        = fs.Bool("list", false, "list available experiments and exit")
-		l1KB        = fs.Float64("l1kb", 32, "private L1 size in model KB (0 disables the level)")
-		l2KB        = fs.Float64("l2kb", 256, "private L2 size in model KB (0 disables the level)")
-		noHier      = fs.Bool("nohier", false, "disable the private L1/L2 levels entirely (flat pre-hierarchy LLC)")
-		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile  = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		scenarioPath = fs.String("scenario", "", "run a declarative scenario file (JSON; see examples/scenarios) instead of the paper experiments")
+		reportDir    = fs.String("report", "", "with -scenario: also write a standalone HTML + CSV report into this directory")
+		validate     = fs.Bool("validate", false, "with -scenario: parse and validate the file, run nothing")
+		expList      = fs.String("exp", "all", "comma-separated experiment ids (table1,table2,fig1a,fig1b,fig2,fig7,flash,fig9,table3,fig10,fig11,fig12,fig13,fig14,cluster,hetero,abl-deboost,abl-bound,utilization) or 'all'")
+		scaleName    = fs.String("scale", "quick", "evaluation scale: quick, default, or full")
+		seed         = fs.Uint64("seed", 1, "top-level random seed")
+		reqOverride  = fs.Float64("requests", 0, "override the scale's request-count factor (0 = scale default)")
+		loadSched    = fs.String("loadsched", "", "load schedule for the fig7 transient experiment (default: a 3x burst aligned to the stat windows); see ubiksim -loadsched for the syntax")
+		parallelism  = fs.Int("parallelism", 0, "worker pool size for mix sweeps, load sweeps and isolation baselines (0 = GOMAXPROCS); results are identical at any setting")
+		noShard      = fs.Bool("noshard", false, "disable sub-mix sharding (load points and isolation baselines run serially)")
+		warmReuse    = fs.Bool("warmreuse", true, "reuse warm simulator state across sweep points: memoize exactly-repeated calibration/isolation runs and fork schedule sweeps from per-scheme warm checkpoints; results are byte-identical either way")
+		noWarmReuse  = fs.Bool("nowarmreuse", false, "disable warm-state reuse (the naive re-warm path; overrides -warmreuse)")
+		csv          = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		jsonOut      = fs.Bool("json", false, "emit one JSON array of all result tables instead of aligned text")
+		list         = fs.Bool("list", false, "list available experiments and exit")
+		l1KB         = fs.Float64("l1kb", 32, "private L1 size in model KB (0 disables the level)")
+		l2KB         = fs.Float64("l2kb", 256, "private L2 size in model KB (0 disables the level)")
+		noHier       = fs.Bool("nohier", false, "disable the private L1/L2 levels entirely (flat pre-hierarchy LLC)")
+		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile   = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -70,6 +85,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 	defer prof.Start(*cpuProfile, *memProfile)()
 	if *csv && *jsonOut {
 		return fmt.Errorf("-csv and -json are mutually exclusive; pick one output format")
+	}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if *scenarioPath != "" {
+		for _, f := range []string{"exp", "loadsched", "scale", "noshard"} {
+			if explicit[f] {
+				return fmt.Errorf("-%s conflicts with -scenario: the scenario file defines the whole run (drop -%s or edit %s)", f, f, *scenarioPath)
+			}
+		}
+		return runScenario(stdout, scenarioArgs{
+			path: *scenarioPath, reportDir: *reportDir, validateOnly: *validate,
+			parallelism: *parallelism, warmReuse: *warmReuse && !*noWarmReuse,
+			csv: *csv, jsonOut: *jsonOut,
+		})
+	}
+	if *reportDir != "" || *validate {
+		return fmt.Errorf("-report and -validate only apply to -scenario runs")
 	}
 
 	if *list {
@@ -273,6 +305,71 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err := enc.Encode(jsonTables); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// scenarioArgs carries the -scenario mode flags into runScenario.
+type scenarioArgs struct {
+	path, reportDir string
+	validateOnly    bool
+	parallelism     int
+	warmReuse       bool
+	csv, jsonOut    bool
+}
+
+// runScenario is the -scenario entry point: parse (and maybe just validate)
+// the file, run it through the scenario engine, print its tables in the
+// selected format, and optionally write the HTML/CSV report.
+func runScenario(stdout io.Writer, a scenarioArgs) error {
+	spec, err := scenario.ParseFile(a.path)
+	if err != nil {
+		return err
+	}
+	if a.validateOnly {
+		mode := "single-node"
+		if spec.IsCluster() {
+			mode = fmt.Sprintf("%d-node cluster", spec.Cluster.Nodes)
+		}
+		fmt.Fprintf(stdout, "%s: valid (scenario %q, %s, %d app entries, %d schemes, %d faults)\n",
+			a.path, spec.Name, mode, len(spec.Apps), len(spec.Schemes), len(spec.Faults))
+		return nil
+	}
+	workers := a.parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var pool *sim.WarmPool
+	if a.warmReuse {
+		pool = sim.NewWarmPool()
+	}
+	out, err := experiment.RunScenario(spec, workers, pool, nil)
+	if err != nil {
+		return err
+	}
+	tables := experiment.ScenarioTables(out)
+	switch {
+	case a.jsonOut:
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tables); err != nil {
+			return err
+		}
+	case a.csv:
+		for _, t := range tables {
+			fmt.Fprintf(stdout, "# %s: %s\n%s\n", t.ID, t.Title, t.CSV())
+		}
+	default:
+		for _, t := range tables {
+			fmt.Fprintln(stdout, t.String())
+		}
+	}
+	if a.reportDir != "" {
+		htmlPath, csvPath, err := experiment.WriteScenarioReport(out, a.reportDir)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "report written: %s, %s\n", htmlPath, csvPath)
 	}
 	return nil
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -154,5 +156,88 @@ func TestRunFig7DeterministicAcrossParallelism(t *testing.T) {
 	a, b := out("4"), out("1")
 	if a != b {
 		t.Errorf("fig7 output differs across -parallelism:\n--- p4\n%s\n--- p1\n%s", a, b)
+	}
+}
+
+// TestScenarioFlags covers the -scenario entry of the experiments binary:
+// validation-only passes, flag conflicts, report flags without a scenario,
+// and missing files.
+func TestScenarioFlags(t *testing.T) {
+	example := filepath.Join("..", "..", "examples", "scenarios", "tiered-qos.json")
+	t.Run("validate-only summarises the file", func(t *testing.T) {
+		t.Parallel()
+		var stdout, stderr bytes.Buffer
+		if err := run([]string{"-scenario", example, "-validate"}, &stdout, &stderr); err != nil {
+			t.Fatal(err)
+		}
+		for _, want := range []string{"valid", `scenario "tiered-qos"`, "single-node", "schemes"} {
+			if !strings.Contains(stdout.String(), want) {
+				t.Errorf("stdout missing %q:\n%s", want, stdout.String())
+			}
+		}
+	})
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"scenario conflicts with -exp", []string{"-scenario", example, "-exp", "fig7"}, "-exp conflicts with -scenario"},
+		{"scenario conflicts with -scale", []string{"-scenario", example, "-scale", "full"}, "-scale conflicts with -scenario"},
+		{"scenario conflicts with -loadsched", []string{"-scenario", example, "-loadsched", "burst:at=1e6,dur=1e6,x=2"}, "-loadsched conflicts with -scenario"},
+		{"-report without -scenario", []string{"-exp", "table1", "-report", "out"}, "-report and -validate only apply to -scenario runs"},
+		{"-validate without -scenario", []string{"-validate"}, "-report and -validate only apply to -scenario runs"},
+		{"missing scenario file", []string{"-scenario", "nope.json"}, "no such file"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			var stdout, stderr bytes.Buffer
+			err := run(c.args, &stdout, &stderr)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got success", c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not contain %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestScenarioRunWithReport drives a faulted scenario end to end through the
+// experiments binary and checks the rendered tables plus the HTML/CSV report
+// files.
+func TestScenarioRunWithReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end runs are slow")
+	}
+	scenarioFile := filepath.Join("..", "..", "examples", "scenarios", "flash-crowd-failure.json")
+	reportDir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	args := []string{"-scenario", scenarioFile, "-report", reportDir, "-parallelism", "2"}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"== scenario-summary:", "== scenario-windows:",
+		"node3:node-down", "report written:",
+	} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout.String())
+		}
+	}
+	html, err := os.ReadFile(filepath.Join(reportDir, "flash-crowd-failure.html"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(html), "node3:node-down") {
+		t.Error("HTML report does not annotate the node-down fault window")
+	}
+	csv, err := os.ReadFile(filepath.Join(reportDir, "flash-crowd-failure.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(csv), "p99") {
+		t.Error("CSV report is missing the windowed tail columns")
 	}
 }

@@ -11,12 +11,18 @@
 //	ubiksim -lc specjbb -load 0.2 -instances 3 -batch mcf,libquantum,soplex -scheme ubik -slack 0.05
 //	ubiksim -lc specjbb -load 0.2 -loadsched 'burst:at=8e6,dur=8e6,x=3'
 //	ubiksim -lc specjbb -load 0.2 -nodes 8 -fanout 4 -balancer p2c -hedge 0.3
+//	ubiksim -scenario examples/scenarios/flash-crowd-failure.json
 //
 // With -nodes above 1 the mix becomes a cluster: every node runs one replica
 // of the latency-critical app plus the batch set, a deterministic front-end
 // splits a global query stream across nodes (each query fans out to -fanout
 // nodes and completes at its -quorum-th response), and the reported tail is
 // the user-visible query tail.
+//
+// With -scenario the whole run — machine, mix, fleet, scheme matrix, fault
+// plan — comes from a declarative JSON file instead of flags; the flag form
+// is a thin builder over the same scenario engine, so a scenario file that
+// mirrors a flag set reproduces its output byte for byte.
 package main
 
 import (
@@ -28,13 +34,11 @@ import (
 	"runtime"
 	"strings"
 
-	"repro/internal/cache"
 	"repro/internal/cluster"
-	"repro/internal/core"
-	"repro/internal/policy"
+	"repro/internal/experiment"
 	"repro/internal/prof"
+	"repro/internal/scenario"
 	"repro/internal/sim"
-	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -47,36 +51,46 @@ func main() {
 	}
 }
 
-// run is the testable entry point: it parses args, runs the mix, and writes
-// human-readable results to stdout. Errors come back to the caller (main
-// maps them to exit status 1).
+// specFlags are the flags that shape the run; all of them conflict with
+// -scenario, which defines the whole run in one file.
+var specFlags = []string{
+	"lc", "load", "instances", "batch", "scheme", "slack", "requests", "seed",
+	"loadsched", "nodes", "fanout", "quorum", "balancer", "hedge",
+	"l1kb", "l2kb", "inclusive", "nohier",
+}
+
+// run is the testable entry point: it parses args, lowers them (or the
+// -scenario file) to a scenario spec, runs it, and writes human-readable
+// results to stdout. Errors come back to the caller (main maps them to exit
+// status 1).
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("ubiksim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		lcName      = fs.String("lc", "specjbb", "latency-critical application (xapian, masstree, moses, shore, specjbb)")
-		load        = fs.Float64("load", 0.2, "offered load for the latency-critical app (0,1)")
-		instances   = fs.Int("instances", 3, "number of latency-critical instances")
-		batchList   = fs.String("batch", "mcf,libquantum,soplex", "comma-separated batch applications")
-		schemeName  = fs.String("scheme", "ubik", "management scheme: lru, ucp, onoff, staticlc, ubik")
-		slack       = fs.Float64("slack", 0.05, "Ubik tail-latency slack")
-		reqFactor   = fs.Float64("requests", 0.25, "request-count scale factor")
-		seed        = fs.Uint64("seed", 1, "random seed")
-		loadSched   = fs.String("loadsched", "const", "time-varying load schedule for the LC instances (const, burst:at=,dur=,x=[,period=], ramp:dur=,to=[,at=,from=], diurnal:period=[,amp=], flash:at=,x=,decay=, mmpp:x=,on=,off=[,lo=]); non-constant schedules also print per-window tails")
-		parallelism = fs.Int("parallelism", 0, "workers for the per-instance isolation baselines and per-node cluster simulations (0 = GOMAXPROCS); results are identical at any setting")
-		nodes       = fs.Int("nodes", 1, "cluster size: replica nodes, one latency-critical replica plus the batch set each (1 = plain single-node mix)")
-		fanout      = fs.Int("fanout", 1, "cluster fan-out: nodes each query touches; the query completes at its quorum-th response")
-		quorum      = fs.Int("quorum", 0, "cluster quorum: leaf responses that complete a query (0 = fanout, i.e. wait for the slowest leaf)")
-		balancer    = fs.String("balancer", "rr", "cluster balancer: rr, random, weighted, p2c")
-		hedge       = fs.Float64("hedge", 0, "cluster hedging: issue one eager duplicate per query to a spare node after this fraction of the deadline (0 disables)")
-		warmReuse   = fs.Bool("warmreuse", true, "accept warm-state reuse (parity with the experiments cmd; a single ubiksim invocation runs each calibration/isolation exactly once, so both settings take the identical path)")
-		noWarmReuse = fs.Bool("nowarmreuse", false, "force the naive re-warm path (overrides -warmreuse; identical output)")
-		l1KB        = fs.Float64("l1kb", 32, "private L1 size in model KB (0 disables the level)")
-		l2KB        = fs.Float64("l2kb", 256, "private L2 size in model KB (0 disables the level)")
-		inclusive   = fs.Bool("inclusive", false, "make the private L2 inclusive of L1 (evictions back-invalidate)")
-		noHier      = fs.Bool("nohier", false, "disable the private L1/L2 levels entirely (flat pre-hierarchy LLC)")
-		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile  = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		scenarioPath = fs.String("scenario", "", "run a declarative scenario file (JSON; see examples/scenarios) instead of assembling the run from flags")
+		lcName       = fs.String("lc", "specjbb", "latency-critical application (xapian, masstree, moses, shore, specjbb)")
+		load         = fs.Float64("load", 0.2, "offered load for the latency-critical app (0,1)")
+		instances    = fs.Int("instances", 3, "number of latency-critical instances")
+		batchList    = fs.String("batch", "mcf,libquantum,soplex", "comma-separated batch applications")
+		schemeName   = fs.String("scheme", "ubik", "management scheme: lru, ucp, onoff, staticlc, ubik")
+		slack        = fs.Float64("slack", 0.05, "Ubik tail-latency slack")
+		reqFactor    = fs.Float64("requests", 0.25, "request-count scale factor")
+		seed         = fs.Uint64("seed", 1, "random seed")
+		loadSched    = fs.String("loadsched", "const", "time-varying load schedule for the LC instances (const, burst:at=,dur=,x=[,period=], ramp:dur=,to=[,at=,from=], diurnal:period=[,amp=], flash:at=,x=,decay=, mmpp:x=,on=,off=[,lo=]); non-constant schedules also print per-window tails")
+		parallelism  = fs.Int("parallelism", 0, "workers for the per-instance isolation baselines and per-node cluster simulations (0 = GOMAXPROCS); results are identical at any setting")
+		nodes        = fs.Int("nodes", 1, "cluster size: replica nodes, one latency-critical replica plus the batch set each (1 = plain single-node mix)")
+		fanout       = fs.Int("fanout", 1, "cluster fan-out: nodes each query touches; the query completes at its quorum-th response")
+		quorum       = fs.Int("quorum", 0, "cluster quorum: leaf responses that complete a query (0 = fanout, i.e. wait for the slowest leaf)")
+		balancer     = fs.String("balancer", "rr", "cluster balancer: rr, random, weighted, p2c")
+		hedge        = fs.Float64("hedge", 0, "cluster hedging: issue one eager duplicate per query to a spare node after this fraction of the deadline (0 disables)")
+		warmReuse    = fs.Bool("warmreuse", true, "accept warm-state reuse (parity with the experiments cmd; a single ubiksim invocation runs each calibration/isolation exactly once, so both settings take the identical path)")
+		noWarmReuse  = fs.Bool("nowarmreuse", false, "force the naive re-warm path (overrides -warmreuse; identical output)")
+		l1KB         = fs.Float64("l1kb", 32, "private L1 size in model KB (0 disables the level)")
+		l2KB         = fs.Float64("l2kb", 256, "private L2 size in model KB (0 disables the level)")
+		inclusive    = fs.Bool("inclusive", false, "make the private L2 inclusive of L1 (evictions back-invalidate)")
+		noHier       = fs.Bool("nohier", false, "disable the private L1/L2 levels entirely (flat pre-hierarchy LLC)")
+		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile   = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -87,133 +101,149 @@ func run(args []string, stdout, stderr io.Writer) error {
 	defer prof.Start(*cpuProfile, *memProfile)()
 	explicit := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-	if err := validateClusterFlags(*nodes, *fanout, *quorum, *balancer, *hedge, explicit); err != nil {
-		return err
-	}
 	workers := *parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	sched, err := workload.ParseSchedule(*loadSched)
-	if err != nil {
-		return err
-	}
-
-	cfg := sim.DefaultConfig()
-	cfg.Seed = *seed
-	cfg.Hierarchy = sim.HierarchyForKB(*l1KB, *l2KB, *inclusive)
-	if *noHier {
-		cfg.Hierarchy = cache.HierarchyConfig{}
-	}
-	if !sched.IsConstant() {
-		// Record per-window tails at reconfiguration granularity so the
-		// transition is visible in the output.
-		cfg.LatencyWindowCycles = cfg.ReconfigIntervalCycles
-	}
-
-	lc, err := workload.LCByName(*lcName)
-	if err != nil {
-		return err
-	}
-	var batches []workload.BatchProfile
-	for _, name := range strings.Split(*batchList, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
+	var spec scenario.Spec
+	if *scenarioPath != "" {
+		for _, f := range specFlags {
+			if explicit[f] {
+				return fmt.Errorf("-%s conflicts with -scenario: the scenario file defines the whole run (drop -%s or edit %s)", f, f, *scenarioPath)
+			}
 		}
-		b, err := workload.BatchByName(name)
+		var err error
+		spec, err = scenario.ParseFile(*scenarioPath)
 		if err != nil {
 			return err
 		}
-		batches = append(batches, b)
-	}
-
-	newPolicy, unpartitioned, err := policyFactory(*schemeName, *slack)
-	if err != nil {
-		return err
-	}
-	pol := newPolicy()
-	if unpartitioned {
-		cfg.LLC.Mode = cache.ModeLRU
+	} else {
+		if err := validateClusterFlags(*nodes, *fanout, *quorum, *balancer, *hedge, explicit); err != nil {
+			return err
+		}
+		var err error
+		spec, err = specFromFlags(flagSpec{
+			lc: *lcName, load: *load, instances: *instances, batch: *batchList,
+			scheme: *schemeName, slack: *slack, reqFactor: *reqFactor, seed: *seed,
+			loadSched: *loadSched, nodes: *nodes, fanout: *fanout, quorum: *quorum,
+			balancer: *balancer, hedge: *hedge,
+			l1KB: *l1KB, l2KB: *l2KB, inclusive: *inclusive, noHier: *noHier,
+		})
+		if err != nil {
+			return err
+		}
 	}
 
 	// Warm-state reuse: accepted for CLI parity with cmd/experiments, but a
 	// single ubiksim invocation runs each calibration/isolation exactly once
 	// (per-seed keys never repeat), so no pool is kept — retaining results in
 	// a pool that can never hit would only double peak memory. Both settings
-	// take the identical path; the pooled call sites below treat a nil pool
-	// as the naive path.
+	// take the identical path; the scenario runner treats a nil pool as the
+	// naive path.
 	_, _ = *warmReuse, *noWarmReuse
 	var pool *sim.WarmPool
 
-	fmt.Fprintf(stdout, "Calibrating %s at %.0f%% load...\n", lc.Name, *load*100)
-	base, err := sim.MeasureLCBaselinePooled(pool, cfg, lc, lc.TargetLines(), *load, *reqFactor)
+	progress := func(format string, a ...any) { fmt.Fprintf(stdout, format, a...) }
+	out, err := experiment.RunScenario(spec, workers, pool, progress)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "  isolated: mean service %.0f cycles, mean latency %.0f, 95%% tail %.0f\n",
-		base.MeanServiceCycles, base.MeanLatency, base.TailLatency)
+	printOutcome(stdout, out)
+	return nil
+}
 
-	if *nodes > 1 {
-		opts := clusterOptions{
-			nodes: *nodes, fanout: *fanout, quorum: *quorum,
-			balancer: cluster.BalancerKind(*balancer), hedge: *hedge,
-			load: *load, reqFactor: *reqFactor, seed: *seed, workers: workers,
-			sched: sched,
-		}
-		return runCluster(stdout, cfg, lc, batches, newPolicy, pol.Name(), base, opts)
-	}
+// flagSpec carries the flag values specFromFlags lowers to a scenario.
+type flagSpec struct {
+	lc                    string
+	load                  float64
+	instances             int
+	batch                 string
+	scheme                string
+	slack                 float64
+	reqFactor             float64
+	seed                  uint64
+	loadSched             string
+	nodes, fanout, quorum int
+	balancer              string
+	hedge                 float64
+	l1KB, l2KB            float64
+	inclusive, noHier     bool
+}
 
-	// Pool isolated latencies on the same instance seeds used in the mix,
-	// sharding the per-instance isolation runs across the worker pool (the
-	// pooled sample is assembled in instance order, so the output does not
-	// depend on -parallelism). Baselines stay steady-state: the schedule
-	// applies only to the mix run, so degradation measures what the
-	// transient costs against an undisturbed isolated run.
-	seeds := make([]uint64, *instances)
-	var specs []sim.AppSpec
-	for i := range seeds {
-		seeds[i] = workload.SplitSeed(*seed, uint64(1000+i))
-		specs = append(specs, sim.AppSpec{
-			LC: &lc, Load: *load, MeanInterarrival: base.MeanInterarrival,
-			DeadlineCycles: uint64(base.TailLatency), RequestFactor: *reqFactor, Seed: seeds[i],
-			Sched: sched,
-		})
+// specFromFlags lowers the flag form to the same scenario spec a file would
+// declare — the flags are a thin builder over the scenario engine, so the two
+// entry points share every line of run wiring.
+func specFromFlags(f flagSpec) (scenario.Spec, error) {
+	spec := scenario.Spec{
+		Version:       scenario.Version,
+		Name:          "cli",
+		Seed:          f.seed,
+		RequestFactor: f.reqFactor,
 	}
-	isoRuns, err := sim.RunIsolatedLCShardsPooled(pool, cfg, lc, lc.TargetLines(), base.MeanInterarrival, *reqFactor, seeds, workers)
-	if err != nil {
-		return err
-	}
-	pooledBase := stats.NewSample(256)
-	for _, iso := range isoRuns {
-		pooledBase.AddAll(iso.LCResults()[0].Latencies.Values())
-	}
-	baseTail, err := pooledBase.TailMean(cfg.TailPercentile)
-	if err != nil {
-		return err
-	}
-
-	var batchBaselines []float64
-	for i := range batches {
-		ipc, err := sim.MeasureBatchBaselineIPC(cfg, batches[i], sim.LinesFor2MB, batches[i].ROIInstructions)
-		if err != nil {
-			return err
-		}
-		batchBaselines = append(batchBaselines, ipc)
-		specs = append(specs, sim.AppSpec{Batch: &batches[i]})
-	}
-
-	if sched.IsConstant() {
-		fmt.Fprintf(stdout, "Running mix under %s...\n", pol.Name())
+	if f.noHier {
+		spec.Machine.Flat = true
 	} else {
-		fmt.Fprintf(stdout, "Running mix under %s with load schedule %s...\n", pol.Name(), sched)
+		// The scenario format reads 0 as "default" and negative as "level
+		// disabled"; the flags read 0 as "disabled" with the default in the
+		// flag's own default value.
+		spec.Machine.L1KB = f.l1KB
+		if f.l1KB == 0 {
+			spec.Machine.L1KB = -1
+		}
+		spec.Machine.L2KB = f.l2KB
+		if f.l2KB == 0 {
+			spec.Machine.L2KB = -1
+		}
+		spec.Machine.InclusiveL2 = f.inclusive
 	}
-	res, err := sim.RunMix(cfg, specs, pol)
+	lcApp := scenario.App{LC: f.lc, Load: f.load}
+	sched, err := workload.ParseSchedule(f.loadSched)
 	if err != nil {
-		return err
+		return scenario.Spec{}, err
 	}
+	if !sched.IsConstant() {
+		lcApp.Sched = f.loadSched
+	}
+	if f.nodes > 1 {
+		spec.Cluster = &scenario.Cluster{
+			Nodes: f.nodes, Fanout: f.fanout, Quorum: f.quorum,
+			Balancer: f.balancer, Hedge: f.hedge,
+		}
+	} else {
+		lcApp.Instances = f.instances
+	}
+	spec.Apps = append(spec.Apps, lcApp)
+	for _, name := range strings.Split(f.batch, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		spec.Apps = append(spec.Apps, scenario.App{Batch: name})
+	}
+	sc := scenario.Scheme{Name: f.scheme}
+	if strings.ToLower(f.scheme) == "ubik" {
+		sc.Slack = f.slack
+	}
+	spec.Schemes = []scenario.Scheme{sc}
+	return spec, spec.Validate()
+}
 
+// printOutcome renders a scenario outcome, one block per scheme.
+func printOutcome(stdout io.Writer, out *experiment.ScenarioOutcome) {
+	for i := range out.Schemes {
+		if out.Spec.IsCluster() {
+			printClusterScheme(stdout, out, i)
+		} else {
+			printSingleScheme(stdout, out, i)
+		}
+	}
+}
+
+// printSingleScheme renders one scheme's single-node mix results.
+func printSingleScheme(stdout io.Writer, out *experiment.ScenarioOutcome, i int) {
+	sc := out.Schemes[i]
+	res := sc.Sim
 	fmt.Fprintf(stdout, "\n%-12s %-6s %12s %12s %10s %8s %7s %7s\n", "app", "kind", "mean_latency", "tail95", "IPC", "missrate", "l1hit", "l2hit")
 	for _, a := range res.Apps {
 		kind := "batch"
@@ -223,75 +253,54 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "%-12s %-6s %12.0f %12.0f %10.3f %8.3f %7.3f %7.3f\n",
 			a.Name, kind, a.MeanLatency, a.TailLatency, a.IPC, a.MissRate, a.L1HitFraction, a.L2HitFraction)
 	}
-	if !sched.IsConstant() {
-		printWindowTable(stdout, res, cfg.LatencyWindowCycles)
-	}
-	ws, err := res.WeightedSpeedup(batchBaselines)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(stdout, "\npooled LC tail latency:   %.0f cycles\n", res.PooledLCTail(cfg.TailPercentile))
-	fmt.Fprintf(stdout, "isolated pooled tail:     %.0f cycles\n", baseTail)
-	fmt.Fprintf(stdout, "tail latency degradation: %.3fx\n", res.PooledLCTail(cfg.TailPercentile)/baseTail)
-	fmt.Fprintf(stdout, "batch weighted speedup:   %.3fx\n", ws)
-	return nil
-}
-
-// printWindowTable renders the per-window tails of a time-varying run,
-// pooled across the latency-critical instances.
-func printWindowTable(stdout io.Writer, res sim.Result, window uint64) {
-	lcs := res.LCResults()
-	maxWin := 0
-	for _, a := range lcs {
-		if len(a.WindowSamples) > maxWin {
-			maxWin = len(a.WindowSamples)
+	if len(sc.Windows) > 0 {
+		fmt.Fprintf(stdout, "\nper-window pooled LC latency (window = %d cycles):\n", out.WindowCycles)
+		fmt.Fprintf(stdout, "%-8s %14s %9s %12s %12s %12s\n", "window", "start_cycles", "requests", "mean", "p95", "p99")
+		for _, w := range sc.Windows {
+			fmt.Fprintf(stdout, "%-8d %14d %9d %12.0f %12.0f %12.0f\n",
+				w.Index, w.StartCycle, w.Count, w.Mean, w.P95, w.P99)
 		}
 	}
-	if maxWin == 0 {
-		return
-	}
-	fmt.Fprintf(stdout, "\nper-window pooled LC latency (window = %d cycles):\n", window)
-	fmt.Fprintf(stdout, "%-8s %14s %9s %12s %12s %12s\n", "window", "start_cycles", "requests", "mean", "p95", "p99")
-	for w := 0; w < maxWin; w++ {
-		var parts []*stats.Sample
-		for _, a := range lcs {
-			if w < len(a.WindowSamples) {
-				parts = append(parts, a.WindowSamples[w])
-			}
+	fmt.Fprintf(stdout, "\npooled LC tail latency:   %.0f cycles\n", sc.PooledLCTail)
+	fmt.Fprintf(stdout, "isolated pooled tail:     %.0f cycles\n", out.IsolatedPooledTail)
+	fmt.Fprintf(stdout, "tail latency degradation: %.3fx\n", sc.Degradation)
+	fmt.Fprintf(stdout, "batch weighted speedup:   %.3fx\n", sc.WeightedSpeedup)
+}
+
+// printClusterScheme renders one scheme's cluster results.
+func printClusterScheme(stdout io.Writer, out *experiment.ScenarioOutcome, i int) {
+	sc := out.Schemes[i]
+	res := sc.Cluster
+	base := out.Baselines[0]
+	fmt.Fprintf(stdout, "\n%-6s %8s %12s %12s %12s %10s %9s\n", "node", "leaves", "leaf_mean", "leaf_p95", "leaf_p99", "lc_ipc", "llc_miss")
+	for n, nr := range res.Nodes {
+		ipc, miss := 0.0, 0.0
+		// A node the fault plan starved of every measured leaf skips its
+		// simulation entirely; print its row as zeros.
+		if lcs := nr.Sim.LCResults(); len(lcs) > 0 {
+			ipc, miss = lcs[0].IPC, lcs[0].MissRate
 		}
-		pooled := stats.PoolWindows(parts)
-		fmt.Fprintf(stdout, "%-8d %14d %9d %12.0f %12.0f %12.0f\n",
-			w, uint64(w)*window, pooled.Len(), pooled.Mean(),
-			pooledPercentile(pooled, 95), pooledPercentile(pooled, 99))
+		fmt.Fprintf(stdout, "%-6d %8d %12.0f %12.0f %12.0f %10.3f %9.3f\n",
+			n, nr.Leaves, nr.LeafMean, nr.LeafP95, nr.LeafP99, ipc, miss)
 	}
-}
-
-// pooledPercentile is Percentile with the empty-sample error flattened to 0.
-func pooledPercentile(s *stats.Sample, p float64) float64 {
-	v, err := s.Percentile(p)
-	if err != nil {
-		return 0
+	if len(res.Windows) > 0 {
+		fmt.Fprintf(stdout, "\nper-window query latency (window = %d cycles):\n", out.WindowCycles)
+		fmt.Fprintf(stdout, "%-8s %14s %9s %12s %12s %12s\n", "window", "start_cycles", "queries", "mean", "p95", "p99")
+		for _, w := range res.Windows {
+			fmt.Fprintf(stdout, "%-8d %14d %9d %12.0f %12.0f %12.0f\n",
+				w.Index, w.StartCycle, w.Count, w.Mean, w.P95, w.P99)
+		}
 	}
-	return v
-}
-
-// policyFactory maps a scheme name to a policy constructor (policies are
-// stateful: a cluster needs a fresh instance per node) plus whether the
-// scheme runs on an unpartitioned cache.
-func policyFactory(name string, slack float64) (func() policy.Policy, bool, error) {
-	switch strings.ToLower(name) {
-	case "lru":
-		return func() policy.Policy { return policy.NewLRU() }, true, nil
-	case "ucp":
-		return func() policy.Policy { return policy.NewUCP() }, false, nil
-	case "onoff":
-		return func() policy.Policy { return policy.NewOnOff() }, false, nil
-	case "staticlc":
-		return func() policy.Policy { return policy.NewStaticLC() }, false, nil
-	case "ubik":
-		return func() policy.Policy { return core.NewUbikWithSlack(slack) }, false, nil
-	default:
-		return nil, false, fmt.Errorf("unknown scheme %q", name)
+	fmt.Fprintf(stdout, "\ncluster queries:          %d\n", res.Queries)
+	fmt.Fprintf(stdout, "query mean latency:       %.0f cycles\n", res.Mean)
+	fmt.Fprintf(stdout, "query p95 latency:        %.0f cycles\n", res.P95)
+	fmt.Fprintf(stdout, "query p99 latency:        %.0f cycles\n", res.P99)
+	if out.ClusterSpec.HedgeDelayCycles > 0 {
+		fmt.Fprintf(stdout, "hedge wins:               %d of %d queries\n", res.HedgeWins, res.Queries)
+	}
+	fmt.Fprintf(stdout, "isolated leaf tail:       %.0f cycles\n", base.TailLatency)
+	if base.TailLatency > 0 {
+		fmt.Fprintf(stdout, "query tail amplification: %.3fx (query p95 vs isolated leaf tail)\n", sc.TailAmplification)
 	}
 }
 
@@ -341,110 +350,4 @@ func validateClusterFlags(nodes, fanout, quorum int, balancer string, hedge floa
 		return fmt.Errorf("-instances applies to the single-node mix; a cluster runs exactly one replica per node (drop -instances or -nodes)")
 	}
 	return nil
-}
-
-// clusterOptions carries the cluster-mode flags into runCluster.
-type clusterOptions struct {
-	nodes, fanout, quorum int
-	balancer              cluster.BalancerKind
-	hedge                 float64
-	load, reqFactor       float64
-	seed                  uint64
-	workers               int
-	sched                 workload.ScheduleSpec
-}
-
-// runCluster builds and runs the -nodes cluster: every node gets the shared
-// machine configuration with its own derived seed, one replica of the
-// latency-critical app and the batch set; the global query rate is chosen so
-// each node sees the calibrated per-node leaf rate at any fan-out (hedges add
-// their (fanout+1)/fanout load on top). Per-node request volume matches what
-// a single-node run at -requests would serve.
-func runCluster(stdout io.Writer, cfg sim.Config, lc workload.LCProfile, batches []workload.BatchProfile,
-	newPolicy func() policy.Policy, policyName string, base sim.LCBaseline, opts clusterOptions) error {
-	nodeSpecs := make([]cluster.NodeSpec, opts.nodes)
-	for i := range nodeSpecs {
-		nodeCfg := cfg
-		nodeCfg.Seed = workload.SplitSeed(opts.seed, 0xD0+uint64(i))
-		// The cluster aggregator windows query and leaf latencies itself from
-		// the plan; per-node windowed recording would duplicate that work.
-		nodeCfg.LatencyWindowCycles = 0
-		node := cluster.NodeSpec{
-			Config: nodeCfg,
-			LC: sim.AppSpec{
-				LC:               &lc,
-				Load:             opts.load,
-				MeanInterarrival: base.MeanInterarrival,
-				DeadlineCycles:   uint64(base.TailLatency),
-				Seed:             workload.SplitSeed(opts.seed, 3000+uint64(i)),
-			},
-			NewPolicy: newPolicy,
-		}
-		for b := range batches {
-			node.Batch = append(node.Batch, sim.AppSpec{Batch: &batches[b]})
-		}
-		nodeSpecs[i] = node
-	}
-	spec := cluster.Spec{
-		Nodes:            nodeSpecs,
-		Fanout:           opts.fanout,
-		Quorum:           opts.quorum,
-		Balancer:         opts.balancer,
-		Sched:            opts.sched,
-		HedgeDelayCycles: uint64(opts.hedge * base.TailLatency),
-		Seed:             opts.seed,
-		TailPercentile:   cfg.TailPercentile,
-	}
-	spec.SizeForPerNodeLoad(cluster.PerNodeRequests(lc.Requests, opts.reqFactor),
-		cluster.PerNodeWarmup(lc.WarmupRequests, opts.reqFactor), base.MeanInterarrival)
-	if !opts.sched.IsConstant() {
-		spec.WindowCycles = cfg.ReconfigIntervalCycles
-	}
-
-	if opts.sched.IsConstant() {
-		fmt.Fprintf(stdout, "Running %d-node cluster under %s: fanout %d, quorum %d, balancer %s...\n",
-			opts.nodes, policyName, spec.Fanout, specQuorum(spec), spec.Balancer)
-	} else {
-		fmt.Fprintf(stdout, "Running %d-node cluster under %s: fanout %d, quorum %d, balancer %s, load schedule %s...\n",
-			opts.nodes, policyName, spec.Fanout, specQuorum(spec), spec.Balancer, opts.sched)
-	}
-	res, err := cluster.Run(spec, opts.workers)
-	if err != nil {
-		return err
-	}
-
-	fmt.Fprintf(stdout, "\n%-6s %8s %12s %12s %12s %10s %9s\n", "node", "leaves", "leaf_mean", "leaf_p95", "leaf_p99", "lc_ipc", "llc_miss")
-	for n, nr := range res.Nodes {
-		lcRes := nr.Sim.LCResults()[0]
-		fmt.Fprintf(stdout, "%-6d %8d %12.0f %12.0f %12.0f %10.3f %9.3f\n",
-			n, nr.Leaves, nr.LeafMean, nr.LeafP95, nr.LeafP99, lcRes.IPC, lcRes.MissRate)
-	}
-	if len(res.Windows) > 0 {
-		fmt.Fprintf(stdout, "\nper-window query latency (window = %d cycles):\n", spec.WindowCycles)
-		fmt.Fprintf(stdout, "%-8s %14s %9s %12s %12s %12s\n", "window", "start_cycles", "queries", "mean", "p95", "p99")
-		for _, w := range res.Windows {
-			fmt.Fprintf(stdout, "%-8d %14d %9d %12.0f %12.0f %12.0f\n",
-				w.Index, w.StartCycle, w.Count, w.Mean, w.P95, w.P99)
-		}
-	}
-	fmt.Fprintf(stdout, "\ncluster queries:          %d\n", res.Queries)
-	fmt.Fprintf(stdout, "query mean latency:       %.0f cycles\n", res.Mean)
-	fmt.Fprintf(stdout, "query p95 latency:        %.0f cycles\n", res.P95)
-	fmt.Fprintf(stdout, "query p99 latency:        %.0f cycles\n", res.P99)
-	if spec.HedgeDelayCycles > 0 {
-		fmt.Fprintf(stdout, "hedge wins:               %d of %d queries\n", res.HedgeWins, res.Queries)
-	}
-	fmt.Fprintf(stdout, "isolated leaf tail:       %.0f cycles\n", base.TailLatency)
-	if base.TailLatency > 0 {
-		fmt.Fprintf(stdout, "query tail amplification: %.3fx (query p95 vs isolated leaf tail)\n", res.P95/base.TailLatency)
-	}
-	return nil
-}
-
-// specQuorum mirrors the spec's quorum resolution for display.
-func specQuorum(s cluster.Spec) int {
-	if s.Quorum == 0 {
-		return s.Fanout
-	}
-	return s.Quorum
 }

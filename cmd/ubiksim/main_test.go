@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -218,5 +220,136 @@ func TestRunDeterministicOutput(t *testing.T) {
 	}
 	if stdout.String() != a {
 		t.Errorf("output differs across -parallelism:\n--- p2\n%s\n--- p1\n%s", a, stdout.String())
+	}
+}
+
+// TestScenarioFlagHandling covers the -scenario entry: spec-shaping flags
+// conflict with it, missing or malformed files fail with actionable errors,
+// and non-shaping flags (-parallelism) still apply.
+func TestScenarioFlagHandling(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	writeFile(t, good, `{
+  "version": 1,
+  "name": "tiny",
+  "request_factor": 0.03,
+  "apps": [
+    { "lc": "masstree", "load": 0.2 },
+    { "batch": "mcf" }
+  ],
+  "schemes": [ { "name": "lru" } ]
+}
+`)
+	malformed := filepath.Join(dir, "broken.json")
+	writeFile(t, malformed, "{\n  \"version\": 1,,\n}\n")
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"scenario conflicts with -nodes", []string{"-scenario", good, "-nodes", "2"}, "-nodes conflicts with -scenario"},
+		{"scenario conflicts with -loadsched", []string{"-scenario", good, "-loadsched", "burst:at=1e6,dur=1e6,x=2"}, "-loadsched conflicts with -scenario"},
+		{"scenario conflicts with -instances", []string{"-scenario", good, "-instances", "2"}, "-instances conflicts with -scenario"},
+		{"scenario conflicts with -scheme", []string{"-scenario", good, "-scheme", "lru"}, "-scheme conflicts with -scenario"},
+		{"missing file", []string{"-scenario", filepath.Join(dir, "nope.json")}, "no such file"},
+		{"malformed file reports the position", []string{"-scenario", malformed}, "JSON syntax error at line 2"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			var stdout, stderr bytes.Buffer
+			err := run(c.args, &stdout, &stderr)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got success", c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not contain %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestScenarioMatchesFlags pins the entry-point unification: a scenario file
+// that mirrors a flag set reproduces the flag run's output byte for byte,
+// because both lower to the same scenario spec and runner.
+func TestScenarioMatchesFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end runs are slow")
+	}
+	flagArgs := []string{"-lc", "masstree", "-load", "0.2", "-instances", "1",
+		"-batch", "mcf", "-requests", "0.03", "-parallelism", "2"}
+	path := filepath.Join(t.TempDir(), "mirror.json")
+	writeFile(t, path, `{
+  "version": 1,
+  "name": "mirror",
+  "seed": 1,
+  "request_factor": 0.03,
+  "machine": { "l1_kb": 32, "l2_kb": 256 },
+  "apps": [
+    { "lc": "masstree", "load": 0.2, "instances": 1 },
+    { "batch": "mcf" }
+  ],
+  "schemes": [ { "name": "ubik", "slack": 0.05 } ]
+}
+`)
+	out := func(args []string) string {
+		var stdout, stderr bytes.Buffer
+		if err := run(args, &stdout, &stderr); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+		return stdout.String()
+	}
+	fromFlags := out(flagArgs)
+	fromScenario := out([]string{"-scenario", path, "-parallelism", "2"})
+	if fromFlags != fromScenario {
+		t.Errorf("scenario output differs from the equivalent flag run:\n--- flags\n%s\n--- scenario\n%s",
+			fromFlags, fromScenario)
+	}
+}
+
+// TestScenarioFaultRun drives a faulted cluster scenario end to end through
+// the binary and checks the fault is visible in the per-node table.
+func TestScenarioFaultRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end runs are slow")
+	}
+	path := filepath.Join(t.TempDir(), "fault.json")
+	writeFile(t, path, `{
+  "version": 1,
+  "name": "fault-e2e",
+  "request_factor": 0.03,
+  "apps": [
+    { "lc": "masstree", "load": 0.2 },
+    { "batch": "mcf" }
+  ],
+  "cluster": { "nodes": 2, "fanout": 1 },
+  "schemes": [ { "name": "ubik" } ],
+  "faults": [
+    { "kind": "node-down", "node": 1, "at_cycle": 1, "duration_cycles": 1152921504606846976 }
+  ]
+}
+`)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-scenario", path}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Injecting 1 fault-plan entries",
+		"Running 2-node cluster under Ubik",
+		"per-window query latency",
+		"cluster queries:",
+	} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout.String())
+		}
+	}
+}
+
+// writeFile writes a test fixture, failing the test on error.
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -93,6 +93,12 @@ type Spec struct {
 	// slot's effective seed replays its stream bit for bit). 0 derives one
 	// from Seed.
 	ArrivalSeed uint64
+	// Faults is the scheduled fault plan: time-windowed node failures (routed
+	// around at query arrival time), fail-slow service inflation, and cold
+	// restarts. An empty plan reproduces the un-faulted run bit for bit; the
+	// plan is part of the serial front-end plan, so faulted runs stay
+	// bit-identical at any parallelism.
+	Faults []Fault
 	// WindowCycles, when positive, buckets query latencies into
 	// arrival-cycle windows of this width (per-phase cluster tails for
 	// time-varying runs). Same floor as sim.Config.LatencyWindowCycles.
@@ -195,7 +201,7 @@ func (s Spec) Validate() error {
 	if _, err := NewBalancer(s.Balancer, m, weightsOf(s.Nodes), s.Seed); err != nil {
 		return err
 	}
-	return nil
+	return validateFaults(s)
 }
 
 // weightsOf collects the resolved capacity weights.
@@ -276,6 +282,17 @@ func buildPlan(spec Spec) (*queryPlan, error) {
 		hedging := spec.hedged() && q >= spec.WarmupQueries
 		if hedging {
 			want++
+		}
+		// Fault hook: nodes inside a node-down window at the query's arrival
+		// time are pre-marked taken, so the balancer routes around them while
+		// its own state (round-robin cursor, load counters) advances exactly
+		// once per query, down nodes or not.
+		if len(spec.Faults) > 0 {
+			for n := 0; n < m; n++ {
+				if spec.downAt(n, t) {
+					taken[n] = true
+				}
+			}
 		}
 		picked = bal.Pick(picked[:0], want, taken, loads)
 		if len(picked) != want {

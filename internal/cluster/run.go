@@ -114,7 +114,7 @@ func Run(spec Spec, parallelism int) (Result, error) {
 // keys are the same deterministic computation — the straggler experiments
 // re-simulate every healthy node once per cluster variant today, and this is
 // what lets the pool collapse those repeats.
-func nodeKey(node NodeSpec, schemeKey string, times []uint64, warmup int) string {
+func nodeKey(node NodeSpec, schemeKey string, times []uint64, warmup int, slow []sim.SlowWindow, restarts []uint64) string {
 	hash := sha256.New()
 	var buf [8]byte
 	for _, t := range times {
@@ -130,9 +130,9 @@ func nodeKey(node NodeSpec, schemeKey string, times []uint64, warmup int) string
 	for _, b := range node.Batch {
 		batch = append(batch, fmt.Sprintf("%#v|%d|%d", *b.Batch, b.ROIInstructions, b.Seed))
 	}
-	return fmt.Sprintf("clnode|%s|%#v|%#v|%v|%v|%d|%d|%v|%d|%v|warm=%d|times=%d:%x",
+	return fmt.Sprintf("clnode|%s|%#v|%#v|%v|%v|%d|%d|%v|%d|%v|warm=%d|slow=%v|restart=%v|times=%d:%x",
 		schemeKey, node.Config, *lc.LC, lc.Load, lc.MeanInterarrival, lc.TargetLines, lc.DeadlineCycles,
-		lc.RequestFactor, lc.Seed, batch, warmup, len(times), h)
+		lc.RequestFactor, lc.Seed, batch, warmup, slow, restarts, len(times), h)
 }
 
 // RunPooled is Run with the per-node simulations memoized through a warm
@@ -157,23 +157,51 @@ func RunPooled(spec Spec, parallelism int, pool *sim.WarmPool, schemeKey string)
 		warmup := plan.nodeWarmup[n]
 		measured := len(times) - warmup
 		if measured < 1 {
+			if len(spec.Faults) > 0 {
+				// A node routed around for the whole measured run (a long
+				// node-down window) legitimately serves nothing; leave its
+				// slot empty and let the aggregator skip it.
+				return nil
+			}
 			return fmt.Errorf("cluster: node %d received no measured leaves (only %d warmup); raise Queries or rebalance", n, warmup)
 		}
+		slow := spec.slowWindowsFor(n)
+		restarts := spec.restartsFor(n)
 		runNode := func() (sim.Result, error) {
 			lc := node.LC
 			lc.Arrivals = workload.NewReplayArrivals(times)
 			lc.ExplicitRequests = measured
 			lc.ExplicitWarmup = warmup
 			lc.Sched = workload.ScheduleSpec{} // the replayed stream already carries the global schedule
+			lc.SlowWindows = slow
 			specs := make([]sim.AppSpec, 0, 1+len(node.Batch))
 			specs = append(specs, lc)
 			specs = append(specs, node.Batch...)
-			return sim.RunMix(node.Config, specs, node.NewPolicy())
+			if len(restarts) == 0 {
+				return sim.RunMix(node.Config, specs, node.NewPolicy())
+			}
+			// Rolling restart: run to each restart boundary, dump the node's
+			// warm state (caches, monitors, policy), and continue. RunUntil
+			// pauses only at scheduler pop boundaries, so the restarted run is
+			// deterministic at any parallelism.
+			s, err := sim.New(node.Config, specs, node.NewPolicy())
+			if err != nil {
+				return sim.Result{}, err
+			}
+			for _, r := range restarts {
+				if err := s.RunUntil(r); err != nil {
+					return sim.Result{}, err
+				}
+				if err := s.ColdRestart(node.NewPolicy()); err != nil {
+					return sim.Result{}, err
+				}
+			}
+			return s.Run()
 		}
 		var res sim.Result
 		var err error
 		if pool != nil {
-			res, err = pool.Result(nodeKey(node, schemeKey, times, warmup), runNode)
+			res, err = pool.Result(nodeKey(node, schemeKey, times, warmup, slow, restarts), runNode)
 		} else {
 			res, err = runNode()
 		}
@@ -198,12 +226,19 @@ func aggregate(spec Spec, plan *queryPlan, results []sim.Result) (Result, error)
 	// request-ID order), offset by the node's warmup prefix.
 	leafLat := make([][]float64, m)
 	for n := 0; n < m; n++ {
+		want := len(plan.nodeTimes[n]) - plan.nodeWarmup[n]
+		if want < 1 && len(spec.Faults) > 0 {
+			// Node skipped by the runner (down for the whole measured run):
+			// no measured query references its leaves, so an empty slice is
+			// never indexed.
+			continue
+		}
 		lcs := results[n].LCResults()
 		if len(lcs) != 1 {
 			return Result{}, fmt.Errorf("cluster: node %d produced %d latency-critical results, want 1", n, len(lcs))
 		}
 		leafLat[n] = lcs[0].RequestLatencies
-		if want := len(plan.nodeTimes[n]) - plan.nodeWarmup[n]; len(leafLat[n]) != want {
+		if len(leafLat[n]) != want {
 			return Result{}, fmt.Errorf("cluster: node %d recorded %d measured leaves, want %d", n, len(leafLat[n]), want)
 		}
 	}

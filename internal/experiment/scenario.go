@@ -1,0 +1,452 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/cluster"
+	"repro/internal/parallel"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// ScenarioScheme is one scheme's outcome of a scenario run.
+type ScenarioScheme struct {
+	// Scheme echoes the scenario entry.
+	Scheme scenario.Scheme
+	// PolicyName is the display name of the scheme's policy.
+	PolicyName string
+	// Sim holds the single-node mix result (nil in cluster mode).
+	Sim *sim.Result
+	// Cluster holds the cluster result (nil in single-node mode).
+	Cluster *cluster.Result
+	// PooledLCTail, Degradation and WeightedSpeedup are the single-node
+	// summary metrics (degradation is against the isolated pooled tail).
+	PooledLCTail, Degradation, WeightedSpeedup float64
+	// TailAmplification is the cluster query p95 over the isolated leaf tail.
+	TailAmplification float64
+	// Windows holds the per-arrival-window tail statistics when the scenario
+	// reports windows: query latencies in cluster mode, latencies pooled
+	// across every latency-critical instance in single-node mode.
+	Windows []stats.WindowStat
+}
+
+// ScenarioOutcome is everything a scenario run produced, structured so the
+// command front-ends and the report generator render without re-simulating.
+type ScenarioOutcome struct {
+	// Spec is the scenario that ran.
+	Spec scenario.Spec
+	// Cfg is the resolved base machine.
+	Cfg sim.Config
+	// WindowCycles is the resolved report window width (0 = no windows).
+	WindowCycles uint64
+	// Baselines holds the isolation baseline of each latency-critical entry,
+	// index-aligned with Spec.LCApps().
+	Baselines []sim.LCBaseline
+	// IsolatedPooledTail is the tail of all isolated instance latencies
+	// pooled together (single-node mode; 0 in cluster mode).
+	IsolatedPooledTail float64
+	// BatchBaselineIPC holds the per-slot batch baseline IPCs of the
+	// single-node mix (isolated 2 MB runs), in slot order.
+	BatchBaselineIPC []float64
+	// ClusterSpec echoes the resolved fleet shape (nil in single-node mode);
+	// its Nodes carry the first scheme's configuration.
+	ClusterSpec *cluster.Spec
+	// Schemes holds one outcome per scheme entry, in matrix order.
+	Schemes []ScenarioScheme
+}
+
+// RunScenario runs a scenario: calibrate each latency-critical entry once,
+// then run every scheme of the matrix over the same plan. workers bounds
+// parallel simulations; results are bit-identical at any workers value (the
+// scheme fan-out and each cluster's node fan-out land in index-addressed
+// slots). progress, when non-nil, receives the human progress lines the
+// interactive front-end prints; it is only called serially, before the
+// parallel phase starts. A nil pool disables warm-state reuse.
+func RunScenario(spec scenario.Spec, workers int, pool *sim.WarmPool, progress func(format string, args ...any)) (*ScenarioOutcome, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	say := func(format string, args ...any) {
+		if progress != nil {
+			progress(format, args...)
+		}
+	}
+	cfg := spec.BaseConfig()
+	out := &ScenarioOutcome{Spec: spec, Cfg: cfg, WindowCycles: spec.WindowCycles(cfg)}
+	schemes, err := spec.ResolvedSchemes()
+	if err != nil {
+		return nil, err
+	}
+	reqFactor := spec.RequestFactorOrDefault()
+	lcApps := spec.LCApps()
+	for _, a := range lcApps {
+		profile, err := workload.LCByName(a.LC)
+		if err != nil {
+			return nil, err
+		}
+		say("Calibrating %s at %.0f%% load...\n", profile.Name, a.Load*100)
+		base, err := sim.MeasureLCBaselinePooled(pool, cfg, profile, profile.TargetLines(), a.Load, reqFactor)
+		if err != nil {
+			return nil, err
+		}
+		say("  isolated: mean service %.0f cycles, mean latency %.0f, 95%% tail %.0f\n",
+			base.MeanServiceCycles, base.MeanLatency, base.TailLatency)
+		out.Baselines = append(out.Baselines, base)
+	}
+	if spec.IsCluster() {
+		err = runScenarioCluster(out, spec, schemes, workers, pool, say)
+	} else {
+		err = runScenarioSingle(out, spec, schemes, workers, pool, say)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// batchSlots expands the scenario's batch entries into app slots, returning
+// the profiles in slot order.
+func batchSlots(spec scenario.Spec) ([]workload.BatchProfile, error) {
+	var out []workload.BatchProfile
+	for _, a := range spec.BatchApps() {
+		profile, err := workload.BatchByName(a.Batch)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < a.InstancesOrDefault(); i++ {
+			out = append(out, profile)
+		}
+	}
+	return out, nil
+}
+
+// runScenarioSingle runs the single-node mix under every scheme: pooled
+// isolation baselines on the exact instance seeds of the mix, batch baseline
+// IPCs, then one RunMix per scheme (sharded over workers when the matrix has
+// several schemes).
+func runScenarioSingle(out *ScenarioOutcome, spec scenario.Spec, schemes []scenario.ResolvedScheme,
+	workers int, pool *sim.WarmPool, say func(string, ...any)) error {
+	cfg := out.Cfg
+	cfg.LatencyWindowCycles = out.WindowCycles
+	seed := spec.SeedOrDefault()
+	reqFactor := spec.RequestFactorOrDefault()
+
+	// Build the mix slots — every LC entry expanded to its instances (global
+	// instance indices drive the per-slot seeds), then the batch slots — and
+	// pool the isolated latencies of the same instances.
+	var specs []sim.AppSpec
+	pooledBase := stats.NewSample(256)
+	g := 0
+	for entry, a := range spec.LCApps() {
+		profile, err := workload.LCByName(a.LC)
+		if err != nil {
+			return err
+		}
+		base := out.Baselines[entry]
+		sched, err := a.ScheduleSpec()
+		if err != nil {
+			return err
+		}
+		seeds := make([]uint64, a.InstancesOrDefault())
+		for i := range seeds {
+			seeds[i] = workload.SplitSeed(seed, uint64(1000+g))
+			g++
+			specs = append(specs, sim.AppSpec{
+				LC: &profile, Load: a.Load, MeanInterarrival: base.MeanInterarrival,
+				DeadlineCycles: uint64(base.TailLatency), RequestFactor: reqFactor,
+				Seed: seeds[i], Sched: sched,
+			})
+		}
+		isoRuns, err := sim.RunIsolatedLCShardsPooled(pool, cfg, profile, profile.TargetLines(),
+			base.MeanInterarrival, reqFactor, seeds, workers)
+		if err != nil {
+			return err
+		}
+		for _, iso := range isoRuns {
+			pooledBase.AddAll(iso.LCResults()[0].Latencies.Values())
+		}
+	}
+	baseTail, err := pooledBase.TailMean(cfg.TailPercentile)
+	if err != nil {
+		return err
+	}
+	out.IsolatedPooledTail = baseTail
+
+	batches, err := batchSlots(spec)
+	if err != nil {
+		return err
+	}
+	for i := range batches {
+		ipc, err := sim.MeasureBatchBaselineIPCPooled(pool, cfg, batches[i], sim.LinesFor2MB, batches[i].ROIInstructions)
+		if err != nil {
+			return err
+		}
+		out.BatchBaselineIPC = append(out.BatchBaselineIPC, ipc)
+		specs = append(specs, sim.AppSpec{Batch: &batches[i]})
+	}
+
+	schedDesc := scheduleDescription(spec)
+	for _, rs := range schemes {
+		if schedDesc == "" {
+			say("Running mix under %s...\n", rs.PolicyName())
+		} else {
+			say("Running mix under %s with load schedule %s...\n", rs.PolicyName(), schedDesc)
+		}
+	}
+	out.Schemes = make([]ScenarioScheme, len(schemes))
+	return parallel.For(len(schemes), workers, func(i int) error {
+		rs := schemes[i]
+		runCfg := cfg
+		if rs.Unpartitioned {
+			runCfg.LLC.Mode = cache.ModeLRU
+		}
+		res, err := sim.RunMix(runCfg, specs, rs.NewPolicy())
+		if err != nil {
+			return fmt.Errorf("scheme %s: %w", rs.Scheme.Name, err)
+		}
+		ws, err := res.WeightedSpeedup(out.BatchBaselineIPC)
+		if err != nil {
+			return err
+		}
+		sc := ScenarioScheme{
+			Scheme:          rs.Scheme,
+			PolicyName:      rs.PolicyName(),
+			Sim:             &res,
+			PooledLCTail:    res.PooledLCTail(cfg.TailPercentile),
+			WeightedSpeedup: ws,
+		}
+		if baseTail > 0 {
+			sc.Degradation = sc.PooledLCTail / baseTail
+		}
+		if out.WindowCycles > 0 {
+			sc.Windows = pooledLCWindowStats(res, out.WindowCycles, spec.TailPercentileOrDefault())
+		}
+		out.Schemes[i] = sc
+		return nil
+	})
+}
+
+// runScenarioCluster runs the fleet under every scheme. The fleet shape (the
+// plan's seeds, sizes and fault plan) is scheme-independent; only each node's
+// cache mode and policy differ, so every scheme replays the identical query
+// plan.
+func runScenarioCluster(out *ScenarioOutcome, spec scenario.Spec, schemes []scenario.ResolvedScheme,
+	workers int, pool *sim.WarmPool, say func(string, ...any)) error {
+	cfg := out.Cfg
+	seed := spec.SeedOrDefault()
+	reqFactor := spec.RequestFactorOrDefault()
+	c := spec.Cluster
+	lcApp := spec.LCApps()[0]
+	profile, err := workload.LCByName(lcApp.LC)
+	if err != nil {
+		return err
+	}
+	base := out.Baselines[0]
+	sched, err := lcApp.ScheduleSpec()
+	if err != nil {
+		return err
+	}
+	batches, err := batchSlots(spec)
+	if err != nil {
+		return err
+	}
+
+	buildSpec := func(rs scenario.ResolvedScheme) cluster.Spec {
+		nodes := make([]cluster.NodeSpec, c.Nodes)
+		for i := range nodes {
+			nodeCfg := cfg
+			if rs.Unpartitioned {
+				nodeCfg.LLC.Mode = cache.ModeLRU
+			}
+			nodeCfg.LLC.Lines = uint64(spec.NodeLLCMB(i) * workload.LinesPerMB)
+			nodeCfg.Seed = workload.SplitSeed(seed, 0xD0+uint64(i))
+			// The cluster aggregator windows query and leaf latencies itself
+			// from the plan; per-node windowed recording would duplicate it.
+			nodeCfg.LatencyWindowCycles = 0
+			node := cluster.NodeSpec{
+				Config: nodeCfg,
+				LC: sim.AppSpec{
+					LC:               &profile,
+					Load:             lcApp.Load,
+					MeanInterarrival: base.MeanInterarrival,
+					DeadlineCycles:   uint64(base.TailLatency),
+					Seed:             workload.SplitSeed(seed, 3000+uint64(i)),
+				},
+				Weight:    spec.NodeWeight(i),
+				NewPolicy: rs.NewPolicy,
+			}
+			for b := range batches {
+				node.Batch = append(node.Batch, sim.AppSpec{Batch: &batches[b]})
+			}
+			nodes[i] = node
+		}
+		cl := cluster.Spec{
+			Nodes:            nodes,
+			Fanout:           c.FanoutOrDefault(),
+			Quorum:           c.Quorum,
+			Balancer:         c.BalancerKind(),
+			Sched:            sched,
+			HedgeDelayCycles: uint64(c.Hedge * base.TailLatency),
+			Seed:             seed,
+			Faults:           spec.ClusterFaults(),
+			WindowCycles:     out.WindowCycles,
+			TailPercentile:   spec.TailPercentileOrDefault(),
+		}
+		cl.SizeForPerNodeLoad(cluster.PerNodeRequests(profile.Requests, reqFactor),
+			cluster.PerNodeWarmup(profile.WarmupRequests, reqFactor), base.MeanInterarrival)
+		return cl
+	}
+
+	first := buildSpec(schemes[0])
+	out.ClusterSpec = &first
+	if len(spec.Faults) > 0 {
+		say("Injecting %d fault-plan entries...\n", len(spec.Faults))
+	}
+	schedDesc := scheduleDescription(spec)
+	for _, rs := range schemes {
+		if schedDesc == "" {
+			say("Running %d-node cluster under %s: fanout %d, quorum %d, balancer %s...\n",
+				c.Nodes, rs.PolicyName(), first.Fanout, clusterQuorum(first), first.Balancer)
+		} else {
+			say("Running %d-node cluster under %s: fanout %d, quorum %d, balancer %s, load schedule %s...\n",
+				c.Nodes, rs.PolicyName(), first.Fanout, clusterQuorum(first), first.Balancer, schedDesc)
+		}
+	}
+	// One scheme gets the whole worker pool for its node fan-out; a matrix
+	// shards over schemes instead (each cluster runs its nodes serially).
+	// Both shapes land results in index-addressed slots, so output is
+	// bit-identical at any workers value either way.
+	schemeWorkers, nodeWorkers := 1, workers
+	if len(schemes) > 1 {
+		schemeWorkers, nodeWorkers = workers, 1
+	}
+	out.Schemes = make([]ScenarioScheme, len(schemes))
+	return parallel.For(len(schemes), schemeWorkers, func(i int) error {
+		rs := schemes[i]
+		res, err := cluster.RunPooled(buildSpec(rs), nodeWorkers, pool, rs.Key)
+		if err != nil {
+			return fmt.Errorf("scheme %s: %w", rs.Scheme.Name, err)
+		}
+		sc := ScenarioScheme{
+			Scheme:     rs.Scheme,
+			PolicyName: rs.PolicyName(),
+			Cluster:    &res,
+			Windows:    res.Windows,
+		}
+		if base.TailLatency > 0 {
+			sc.TailAmplification = res.P95 / base.TailLatency
+		}
+		out.Schemes[i] = sc
+		return nil
+	})
+}
+
+// scheduleDescription summarises the mix's non-constant load schedules for
+// progress lines: empty when steady, the schedule when the mix has one, and
+// "mixed" for multi-schedule mixes.
+func scheduleDescription(spec scenario.Spec) string {
+	var distinct []string
+	for _, a := range spec.LCApps() {
+		sched, err := a.ScheduleSpec()
+		if err != nil || sched.IsConstant() {
+			continue
+		}
+		s := sched.String()
+		seen := false
+		for _, d := range distinct {
+			if d == s {
+				seen = true
+			}
+		}
+		if !seen {
+			distinct = append(distinct, s)
+		}
+	}
+	switch len(distinct) {
+	case 0:
+		return ""
+	case 1:
+		return distinct[0]
+	default:
+		return "mixed"
+	}
+}
+
+// clusterQuorum mirrors the cluster spec's quorum resolution for display.
+func clusterQuorum(s cluster.Spec) int {
+	if s.Quorum == 0 {
+		return s.Fanout
+	}
+	return s.Quorum
+}
+
+// pooledLCWindowStats pools the per-window latency samples of every
+// latency-critical instance and summarises each window — the single-node
+// counterpart of the cluster's query windows.
+func pooledLCWindowStats(res sim.Result, width uint64, tailPct float64) []stats.WindowStat {
+	lcs := res.LCResults()
+	maxWin := 0
+	for _, a := range lcs {
+		if len(a.WindowSamples) > maxWin {
+			maxWin = len(a.WindowSamples)
+		}
+	}
+	out := make([]stats.WindowStat, maxWin)
+	for w := 0; w < maxWin; w++ {
+		var parts []*stats.Sample
+		for _, a := range lcs {
+			if w < len(a.WindowSamples) {
+				parts = append(parts, a.WindowSamples[w])
+			}
+		}
+		pooled := stats.PoolWindows(parts)
+		st := stats.WindowStat{
+			Index:      uint64(w),
+			StartCycle: uint64(w) * width,
+			EndCycle:   uint64(w+1) * width,
+			Count:      uint64(pooled.Len()),
+		}
+		if pooled.Len() > 0 {
+			st.Mean = pooled.Mean()
+			if p, err := pooled.Percentile(95); err == nil {
+				st.P95 = p
+			}
+			if p, err := pooled.Percentile(99); err == nil {
+				st.P99 = p
+			}
+			if tm, err := pooled.TailMean(tailPct); err == nil {
+				st.TailMean = tm
+			}
+		}
+		out[w] = st
+	}
+	return out
+}
+
+// WindowFaults lists the fault-plan entries active during [start, end) — the
+// annotations the per-window report attaches to fault windows. Restarts are
+// instantaneous events and annotate the window containing their cycle.
+func WindowFaults(spec scenario.Spec, start, end uint64) []string {
+	var out []string
+	for _, f := range spec.Faults {
+		var active bool
+		switch cluster.FaultKind(f.Kind) {
+		case cluster.FaultRestart:
+			active = f.AtCycle >= start && f.AtCycle < end
+		default:
+			active = f.AtCycle < end && f.AtCycle+f.DurationCycles > start
+		}
+		if active {
+			out = append(out, fmt.Sprintf("node%d:%s", f.Node, f.Kind))
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,140 @@
+package experiment
+
+import (
+	"encoding/json"
+	"hash/fnv"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// outcomeDigest hashes a scenario outcome's scheme results (every latency,
+// window and counter, via their JSON form) so golden tests can pin a run to
+// one number. JSON float formatting is the shortest exact representation, so
+// any bit-level drift in the simulation changes the digest.
+func outcomeDigest(t *testing.T, out *ScenarioOutcome) uint64 {
+	t.Helper()
+	data, err := json.Marshal(out.Schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	return h.Sum64()
+}
+
+// goldenScenarioDigest pins the shipped flash-crowd-plus-node-failure
+// scenario. If an intentional change to the simulator, the cluster layer or
+// the scenario runner moves this number, update it here and note the change;
+// anything else moving it is a determinism regression.
+const goldenScenarioDigest = 0x41f4dc8aa838ae5b
+
+// TestScenarioGoldenDigest runs the shipped flash-crowd-failure scenario at
+// parallelism 1 and 4 and requires bit-identical outcomes, pinned to a golden
+// digest.
+func TestScenarioGoldenDigest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario runs are slow")
+	}
+	spec, err := scenario.ParseFile("../../examples/scenarios/flash-crowd-failure.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := RunScenario(spec, 1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel4, err := RunScenario(spec, 4, sim.NewWarmPool(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Schemes, parallel4.Schemes) {
+		t.Error("scenario outcome differs between parallelism 1 and 4 (with warm pool)")
+	}
+	if got := outcomeDigest(t, serial); got != goldenScenarioDigest {
+		t.Errorf("flash-crowd-failure digest = %#016x, want %#016x", got, uint64(goldenScenarioDigest))
+	}
+}
+
+// TestScenarioFaultWindowsAnnotated checks the report layer end to end on the
+// faulted scenario: the windows table exists, the node-down window rows carry
+// the fault annotation, and rows outside the fault window do not.
+func TestScenarioFaultWindowsAnnotated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario runs are slow")
+	}
+	spec, err := scenario.ParseFile("../../examples/scenarios/flash-crowd-failure.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunScenario(spec, 4, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := ScenarioTables(out)
+	var windows *Table
+	for i := range tables {
+		if tables[i].ID == "scenario-windows" {
+			windows = &tables[i]
+		}
+	}
+	if windows == nil {
+		t.Fatal("faulted scenario produced no scenario-windows table")
+	}
+	faultCol := len(windows.Header) - 1
+	annotated := 0
+	for _, row := range windows.Rows {
+		if strings.Contains(row[faultCol], "node3:node-down") {
+			annotated++
+		}
+	}
+	if annotated == 0 {
+		t.Error("no window row is annotated with the node-down fault")
+	}
+	if annotated == len(windows.Rows) {
+		t.Error("every window row is annotated; the fault should be confined to its window")
+	}
+	// The HTML report highlights exactly the annotated rows.
+	html := ScenarioHTML(out)
+	if got := strings.Count(html, `class="fault"`); got != annotated {
+		t.Errorf("HTML report highlights %d rows, want %d", got, annotated)
+	}
+	if !strings.Contains(ScenarioCSV(out), "faults") {
+		t.Error("CSV export of a faulted scenario should include the faults column")
+	}
+}
+
+// TestWindowFaults checks the window-annotation helper directly: overlap
+// semantics for windowed faults, point semantics for restarts.
+func TestWindowFaults(t *testing.T) {
+	spec := scenario.Spec{
+		Version: 1, Name: "w",
+		Apps:    []scenario.App{{LC: "xapian", Load: 0.3}},
+		Cluster: &scenario.Cluster{Nodes: 4},
+		Schemes: []scenario.Scheme{{Name: "ubik"}},
+		Faults: []scenario.Fault{
+			{Kind: "node-down", Node: 3, AtCycle: 100, DurationCycles: 50},
+			{Kind: "fail-slow", Node: 1, AtCycle: 120, DurationCycles: 100, Factor: 2},
+			{Kind: "restart", Node: 0, AtCycle: 140},
+		},
+	}
+	cases := []struct {
+		start, end uint64
+		want       []string
+	}{
+		{0, 100, nil}, // ends exactly at the first fault: no overlap
+		{100, 130, []string{"node1:fail-slow", "node3:node-down"}},
+		{130, 160, []string{"node0:restart", "node1:fail-slow", "node3:node-down"}},
+		{150, 200, []string{"node1:fail-slow"}},
+		{300, 400, nil},
+	}
+	for _, c := range cases {
+		got := WindowFaults(spec, c.start, c.end)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("WindowFaults(%d, %d) = %v, want %v", c.start, c.end, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzParseScenario fuzzes the strict parser: it must never panic, and every
+// input it accepts must already be semantically valid and survive a
+// Marshal -> Parse round trip unchanged (the format's fixed-point contract).
+func FuzzParseScenario(f *testing.F) {
+	f.Add([]byte(`{"version": 1, "name": "t", "apps": [{"lc": "xapian", "load": 0.3}], "schemes": [{"name": "lru"}]}`))
+	f.Add([]byte(`{"version": 1}`))
+	f.Add([]byte(`{]`))
+	f.Add([]byte(`[1, 2, 3]`))
+	f.Add([]byte(`{"version": 1, "name": "t", "bogus": true}`))
+	paths, err := filepath.Glob("../../examples/scenarios/*.json")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("Parse accepted a spec Validate rejects: %v", err)
+		}
+		out, err := Marshal(spec)
+		if err != nil {
+			t.Fatalf("Marshal failed on a parsed spec: %v", err)
+		}
+		back, err := Parse(out)
+		if err != nil {
+			t.Fatalf("re-parse of marshalled spec failed: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(spec, back) {
+			t.Fatalf("round trip changed the spec:\nbefore %+v\nafter  %+v", spec, back)
+		}
+	})
+}

@@ -1,0 +1,182 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// Parse reads a scenario from JSON, strictly: syntax errors report their
+// line and column, type mismatches report the field path and the expected
+// type, unknown fields report their path plus the fields the enclosing
+// object accepts, and the decoded spec is semantically validated. A spec that
+// parses round-trips: Parse(Marshal(spec)) returns spec exactly, because
+// parsing stores field values verbatim and resolves defaults lazily.
+func Parse(data []byte) (Spec, error) {
+	var spec Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if err := dec.Decode(&spec); err != nil {
+		return Spec{}, decorateDecodeError(err, data)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return Spec{}, fmt.Errorf("scenario: trailing data after the scenario object")
+	}
+	// The typed decode above ignores unknown keys; walk the raw document
+	// against the schema to reject them with their full path.
+	var raw any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return Spec{}, decorateDecodeError(err, data)
+	}
+	if err := checkUnknownFields(raw, reflect.TypeOf(Spec{}), ""); err != nil {
+		return Spec{}, err
+	}
+	if err := spec.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
+}
+
+// ParseFile is Parse over a file, with the filename prefixed to every error.
+func ParseFile(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	spec, err := Parse(data)
+	if err != nil {
+		return Spec{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return spec, nil
+}
+
+// Marshal renders a spec as indented JSON with a trailing newline — the
+// on-disk format of examples/scenarios. Marshal and Parse are inverses for
+// every valid spec.
+func Marshal(spec Spec) ([]byte, error) {
+	data, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// decorateDecodeError rewrites the stock json errors into actionable ones:
+// syntax errors gain a line:column position, type errors gain the field path
+// and expected type.
+func decorateDecodeError(err error, data []byte) error {
+	var syn *json.SyntaxError
+	if errors.As(err, &syn) {
+		line, col := lineCol(data, syn.Offset)
+		return fmt.Errorf("scenario: JSON syntax error at line %d, column %d: %v", line, col, syn)
+	}
+	var typ *json.UnmarshalTypeError
+	if errors.As(err, &typ) {
+		line, col := lineCol(data, typ.Offset)
+		field := typ.Field
+		if field == "" {
+			field = "(document root)"
+		}
+		return fmt.Errorf("scenario: field %s: cannot use JSON %s, expected %s (line %d, column %d)",
+			field, typ.Value, typ.Type, line, col)
+	}
+	return fmt.Errorf("scenario: %w", err)
+}
+
+// lineCol converts a byte offset into a 1-based line and column.
+func lineCol(data []byte, offset int64) (line, col int) {
+	if offset > int64(len(data)) {
+		offset = int64(len(data))
+	}
+	line, col = 1, 1
+	for _, b := range data[:offset] {
+		if b == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
+}
+
+// checkUnknownFields walks a decoded JSON document in parallel with the
+// schema struct type and rejects any object key no struct field claims,
+// reporting the key's path and the keys the object accepts.
+func checkUnknownFields(raw any, t reflect.Type, path string) error {
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	switch t.Kind() {
+	case reflect.Struct:
+		obj, ok := raw.(map[string]any)
+		if !ok {
+			return nil // a type mismatch; the typed decode already reported it
+		}
+		fields := jsonFields(t)
+		for key, val := range obj {
+			ft, known := fields[key]
+			if !known {
+				return fmt.Errorf("scenario: unknown field %s (the %s object accepts: %s)",
+					joinPath(path, key), strings.ToLower(t.Name()), strings.Join(fieldNames(fields), ", "))
+			}
+			if err := checkUnknownFields(val, ft, joinPath(path, key)); err != nil {
+				return err
+			}
+		}
+	case reflect.Slice, reflect.Array:
+		items, ok := raw.([]any)
+		if !ok {
+			return nil
+		}
+		for i, item := range items {
+			if err := checkUnknownFields(item, t.Elem(), fmt.Sprintf("%s[%d]", path, i)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// jsonFields maps a struct's JSON keys to their field types.
+func jsonFields(t reflect.Type) map[string]reflect.Type {
+	out := make(map[string]reflect.Type, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		name := strings.Split(f.Tag.Get("json"), ",")[0]
+		if name == "-" {
+			continue
+		}
+		if name == "" {
+			name = f.Name
+		}
+		out[name] = f.Type
+	}
+	return out
+}
+
+// fieldNames lists an object's accepted keys in stable order.
+func fieldNames(fields map[string]reflect.Type) []string {
+	names := make([]string, 0, len(fields))
+	for n := range fields {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// joinPath appends a key to a dotted field path.
+func joinPath(path, key string) string {
+	if path == "" {
+		return key
+	}
+	return path + "." + key
+}

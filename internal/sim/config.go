@@ -209,6 +209,43 @@ type AppSpec struct {
 	// is set. The replayed stream must present warmup arrivals strictly
 	// before measured ones (the cluster planner guarantees this).
 	ExplicitWarmup int
+
+	// SlowWindows inflate the slot's per-request service demand over cycle
+	// windows — the fail-slow fault model: a request whose raw arrival time
+	// falls inside a window has its drawn service demand multiplied by the
+	// window's factor before it is enqueued. Windows must be sorted by start
+	// cycle and non-overlapping; an empty slice reproduces the un-faulted
+	// run bit for bit. Only latency-critical slots may set it.
+	SlowWindows []SlowWindow
+}
+
+// SlowWindow is one fail-slow interval: requests arriving in
+// [StartCycle, EndCycle) have their service demand scaled by Factor.
+type SlowWindow struct {
+	StartCycle, EndCycle uint64
+	Factor               float64
+}
+
+// Contains reports whether the window covers the given arrival cycle.
+func (w SlowWindow) Contains(cycle uint64) bool {
+	return cycle >= w.StartCycle && cycle < w.EndCycle
+}
+
+// inflateDemand applies the first (unique, by the non-overlap invariant)
+// matching slow window to a drawn service demand. The demand draw itself is
+// never skipped, so faulted and un-faulted runs consume identical randomness
+// and requests outside every window are bit-identical across the two.
+func inflateDemand(demand, arrival uint64, windows []SlowWindow) uint64 {
+	for _, w := range windows {
+		if w.Contains(arrival) {
+			d := uint64(float64(demand)*w.Factor + 0.5)
+			if d < 1 {
+				d = 1
+			}
+			return d
+		}
+	}
+	return demand
 }
 
 // IsLC reports whether the slot holds a latency-critical application.
@@ -253,6 +290,18 @@ func (s AppSpec) Validate() error {
 		} else if s.ExplicitRequests != 0 || s.ExplicitWarmup != 0 {
 			return fmt.Errorf("sim: app %q sets explicit request counts without an explicit arrival stream", s.LC.Name)
 		}
+		for i, w := range s.SlowWindows {
+			if w.EndCycle <= w.StartCycle {
+				return fmt.Errorf("sim: app %q slow window %d is empty (end %d <= start %d)", s.LC.Name, i, w.EndCycle, w.StartCycle)
+			}
+			if w.Factor < 1 {
+				return fmt.Errorf("sim: app %q slow window %d needs an inflation factor >= 1, got %v", s.LC.Name, i, w.Factor)
+			}
+			if i > 0 && w.StartCycle < s.SlowWindows[i-1].EndCycle {
+				return fmt.Errorf("sim: app %q slow windows must be sorted and non-overlapping (window %d starts at %d before window %d ends at %d)",
+					s.LC.Name, i, w.StartCycle, i-1, s.SlowWindows[i-1].EndCycle)
+			}
+		}
 	}
 	if s.Batch != nil {
 		if err := s.Batch.Validate(); err != nil {
@@ -263,6 +312,9 @@ func (s AppSpec) Validate() error {
 		}
 		if s.Arrivals != nil {
 			return fmt.Errorf("sim: batch app %q cannot have an arrival process", s.Batch.Name)
+		}
+		if len(s.SlowWindows) > 0 {
+			return fmt.Errorf("sim: batch app %q cannot have slow windows (no requests to inflate)", s.Batch.Name)
 		}
 	}
 	return nil

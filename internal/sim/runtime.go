@@ -204,6 +204,9 @@ func (a *appRuntime) hasWork() bool { return a.current != nil || !a.queue.Empty(
 func (a *appRuntime) enqueueArrivals(now uint64, coalesce uint64) {
 	for a.generated < a.toGenerate && a.nextArrivalVisible <= now {
 		demand := a.lcApp.NextServiceDemand()
+		if len(a.spec.SlowWindows) > 0 {
+			demand = inflateDemand(demand, a.nextArrivalRaw, a.spec.SlowWindows)
+		}
 		req := &queueing.Request{
 			ID:            uint64(a.generated),
 			ArrivalCycle:  a.nextArrivalRaw,

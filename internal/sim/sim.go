@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/monitor"
 	"repro/internal/policy"
 )
 
@@ -266,6 +267,52 @@ func (s *Simulator) Run() (Result, error) {
 // checkpoint, and fork the measured remainder.
 func (s *Simulator) RunUntil(stopCycle uint64) error {
 	return s.runLoop(stopCycle)
+}
+
+// ColdRestart models a process restart at a paused boundary (after RunUntil):
+// the shared LLC, every private cache level, all monitoring hardware and the
+// policy are rebuilt from scratch — exactly the state a restarted server loses
+// — while everything that survives a restart in the modelled system is kept:
+// local clocks, queued and in-flight requests, arrival cursors, random
+// streams, performance counters and the latency recorders. The in-flight
+// request (if any) finishes its remaining accesses against the cold cache,
+// and the reconfiguration cadence continues on its original boundaries, so a
+// restarted run stays deterministic at any parallelism. pol must be a fresh
+// policy instance; the old one's learned state is discarded with the caches.
+func (s *Simulator) ColdRestart(pol policy.Policy) error {
+	if pol == nil {
+		return fmt.Errorf("sim: cold restart needs a fresh policy")
+	}
+	if s.running != nil {
+		return fmt.Errorf("sim: cold restart is only legal at a paused scheduler boundary")
+	}
+	llc, err := cache.New(s.cfg.LLC)
+	if err != nil {
+		return err
+	}
+	s.llc = llc
+	s.policy = pol
+	for _, a := range s.apps {
+		umon, err := monitor.NewUMON(s.cfg.LLC.Lines, s.cfg.UMONWays, s.cfg.UMONSampleSets)
+		if err != nil {
+			return err
+		}
+		a.umon = umon
+		a.mlp = monitor.NewMLPProfiler(0.999)
+		if a.reuse != nil {
+			a.reuse = monitor.NewReuseProfiler(monitor.DefaultReuseMaxAge)
+		}
+		a.hier = nil
+		if err := a.attachHierarchy(s.cfg.Hierarchy, llc); err != nil {
+			return err
+		}
+		a.umonAtReconfig = monitor.UMONSnapshot{}
+		a.countersAtReconfig = a.counters
+		a.idleInInterval = 0
+		a.accessesSinceCheck = 0
+	}
+	s.setInitialTargets()
+	return nil
 }
 
 // runLoop is the scheduler loop behind Run and RunUntil, stopping (with every
