@@ -1,0 +1,190 @@
+// Command benchgate compares a freshly measured benchmark JSON file against a
+// committed baseline and exits non-zero when a gated variant regressed.
+//
+// The current file is the array CI extracts from `go test -bench` output
+// (see BENCH_singlerun.json in the workflow):
+//
+//	[{"variant": "SingleLargeRun/serial", "iterations": 5, "ns_per_op": 126190319}, ...]
+//
+// The baseline is a committed file of gated entries. Each entry names a
+// variant, its reference ns/op, and optionally a per-entry tolerance (which
+// overrides -tolerance) and an absolute ceiling in ns:
+//
+//	{"note": "...", "entries": [
+//	  {"variant": "SingleLargeRun/serial", "ns_per_op": 126190319, "ceiling_ns": 1500000000},
+//	  {"variant": "CheckpointClone/delta", "ns_per_op": 36518, "tolerance": 1.25}
+//	]}
+//
+// A variant fails the gate when current > baseline*tolerance or current >
+// ceiling_ns (when set), or when it is missing from the current file
+// entirely (a renamed or deleted benchmark must update the baseline, not
+// silently escape the gate). Baselines are hardware-specific: refresh one on
+// the reference machine with -update, which rewrites the baseline's ns_per_op
+// values from the current file while keeping tolerances and ceilings.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type measurement struct {
+	Variant    string  `json:"variant"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+type baselineEntry struct {
+	Variant   string  `json:"variant"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	Tolerance float64 `json:"tolerance,omitempty"`
+	CeilingNs float64 `json:"ceiling_ns,omitempty"`
+}
+
+type baseline struct {
+	Note    string          `json:"note,omitempty"`
+	Entries []baselineEntry `json:"entries"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	currentPath := fs.String("current", "", "freshly measured benchmark JSON (array of {variant, iterations, ns_per_op})")
+	baselinePath := fs.String("baseline", "", "committed baseline JSON to gate against")
+	tolerance := fs.Float64("tolerance", 1.10, "default allowed ratio of current to baseline ns/op before failing")
+	update := fs.Bool("update", false, "rewrite the baseline's ns_per_op values from the current file instead of gating")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *currentPath == "" || *baselinePath == "" {
+		return fmt.Errorf("both -current and -baseline are required")
+	}
+	if *tolerance <= 0 {
+		return fmt.Errorf("-tolerance must be > 0, got %v", *tolerance)
+	}
+
+	current, err := loadCurrent(*currentPath)
+	if err != nil {
+		return err
+	}
+	base, err := loadBaseline(*baselinePath)
+	if err != nil {
+		return err
+	}
+
+	if *update {
+		return updateBaseline(*baselinePath, base, current)
+	}
+
+	failures := gate(base, current, *tolerance, out)
+	if len(failures) > 0 {
+		return fmt.Errorf("%d variant(s) failed the gate", len(failures))
+	}
+	fmt.Fprintf(out, "benchgate: all %d gated variant(s) within tolerance\n", len(base.Entries))
+	return nil
+}
+
+func loadCurrent(path string) (map[string]measurement, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var list []measurement
+	if err := json.Unmarshal(data, &list); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	byVariant := make(map[string]measurement, len(list))
+	for _, m := range list {
+		if m.Variant == "" {
+			return nil, fmt.Errorf("%s: measurement with empty variant name", path)
+		}
+		if m.NsPerOp <= 0 {
+			return nil, fmt.Errorf("%s: variant %q has non-positive ns_per_op %v", path, m.Variant, m.NsPerOp)
+		}
+		byVariant[m.Variant] = m
+	}
+	if len(byVariant) == 0 {
+		return nil, fmt.Errorf("%s: no measurements (benchmark extraction produced an empty file)", path)
+	}
+	return byVariant, nil
+}
+
+func loadBaseline(path string) (baseline, error) {
+	var base baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return base, err
+	}
+	if err := json.Unmarshal(data, &base); err != nil {
+		return base, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(base.Entries) == 0 {
+		return base, fmt.Errorf("%s: baseline has no entries", path)
+	}
+	for _, e := range base.Entries {
+		if e.Variant == "" || e.NsPerOp <= 0 {
+			return base, fmt.Errorf("%s: invalid baseline entry %+v", path, e)
+		}
+		if e.Tolerance < 0 {
+			return base, fmt.Errorf("%s: variant %q has negative tolerance", path, e.Variant)
+		}
+	}
+	return base, nil
+}
+
+// gate checks every baseline entry against the current measurements and
+// returns the variants that failed, printing a verdict line for each.
+func gate(base baseline, current map[string]measurement, defaultTol float64, out *os.File) []string {
+	var failures []string
+	for _, e := range base.Entries {
+		tol := e.Tolerance
+		if tol == 0 {
+			tol = defaultTol
+		}
+		cur, ok := current[e.Variant]
+		if !ok {
+			fmt.Fprintf(out, "FAIL %-28s missing from current measurements\n", e.Variant)
+			failures = append(failures, e.Variant)
+			continue
+		}
+		ratio := cur.NsPerOp / e.NsPerOp
+		limit := e.NsPerOp * tol
+		switch {
+		case cur.NsPerOp > limit:
+			fmt.Fprintf(out, "FAIL %-28s %.0f ns/op vs baseline %.0f (%.2fx > %.2fx allowed)\n",
+				e.Variant, cur.NsPerOp, e.NsPerOp, ratio, tol)
+			failures = append(failures, e.Variant)
+		case e.CeilingNs > 0 && cur.NsPerOp > e.CeilingNs:
+			fmt.Fprintf(out, "FAIL %-28s %.0f ns/op above absolute ceiling %.0f\n",
+				e.Variant, cur.NsPerOp, e.CeilingNs)
+			failures = append(failures, e.Variant)
+		default:
+			fmt.Fprintf(out, "ok   %-28s %.0f ns/op vs baseline %.0f (%.2fx, allowed %.2fx)\n",
+				e.Variant, cur.NsPerOp, e.NsPerOp, ratio, tol)
+		}
+	}
+	return failures
+}
+
+func updateBaseline(path string, base baseline, current map[string]measurement) error {
+	for i, e := range base.Entries {
+		cur, ok := current[e.Variant]
+		if !ok {
+			return fmt.Errorf("cannot update: variant %q missing from current measurements", e.Variant)
+		}
+		base.Entries[i].NsPerOp = cur.NsPerOp
+	}
+	data, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const goodBaseline = `{"entries": [
+  {"variant": "SingleLargeRun/serial", "ns_per_op": 100000000, "ceiling_ns": 1000000000},
+  {"variant": "CheckpointClone/delta", "ns_per_op": 40000, "tolerance": 1.25}
+]}`
+
+func TestGatePasses(t *testing.T) {
+	dir := t.TempDir()
+	cur := writeFile(t, dir, "cur.json", `[
+  {"variant": "SingleLargeRun/serial", "iterations": 5, "ns_per_op": 105000000},
+  {"variant": "CheckpointClone/delta", "iterations": 1000, "ns_per_op": 48000}
+]`)
+	base := writeFile(t, dir, "base.json", goodBaseline)
+	if err := run([]string{"-current", cur, "-baseline", base}, os.Stdout); err != nil {
+		t.Fatalf("gate should pass: %v", err)
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	// serial regressed 20% against the default 10% tolerance.
+	cur := writeFile(t, dir, "cur.json", `[
+  {"variant": "SingleLargeRun/serial", "iterations": 5, "ns_per_op": 120000000},
+  {"variant": "CheckpointClone/delta", "iterations": 1000, "ns_per_op": 40000}
+]`)
+	base := writeFile(t, dir, "base.json", goodBaseline)
+	if err := run([]string{"-current", cur, "-baseline", base}, os.Stdout); err == nil {
+		t.Fatal("gate should fail on a 20% regression over a 10% tolerance")
+	}
+}
+
+func TestGateFailsOnCeiling(t *testing.T) {
+	dir := t.TempDir()
+	// 9x is within no relative tolerance but above the absolute ceiling; use
+	// a generous -tolerance so only the ceiling can trip.
+	cur := writeFile(t, dir, "cur.json", `[
+  {"variant": "SingleLargeRun/serial", "iterations": 5, "ns_per_op": 1100000000},
+  {"variant": "CheckpointClone/delta", "iterations": 1000, "ns_per_op": 40000}
+]`)
+	base := writeFile(t, dir, "base.json", goodBaseline)
+	err := run([]string{"-current", cur, "-baseline", base, "-tolerance", "100"}, os.Stdout)
+	if err == nil {
+		t.Fatal("gate should fail above the absolute ceiling")
+	}
+}
+
+func TestGateFailsOnMissingVariant(t *testing.T) {
+	dir := t.TempDir()
+	cur := writeFile(t, dir, "cur.json", `[
+  {"variant": "SingleLargeRun/serial", "iterations": 5, "ns_per_op": 100000000}
+]`)
+	base := writeFile(t, dir, "base.json", goodBaseline)
+	if err := run([]string{"-current", cur, "-baseline", base}, os.Stdout); err == nil {
+		t.Fatal("gate should fail when a gated variant disappears from the measurements")
+	}
+}
+
+func TestGateRejectsEmptyCurrent(t *testing.T) {
+	dir := t.TempDir()
+	cur := writeFile(t, dir, "cur.json", `[]`)
+	base := writeFile(t, dir, "base.json", goodBaseline)
+	if err := run([]string{"-current", cur, "-baseline", base}, os.Stdout); err == nil {
+		t.Fatal("an empty current file means extraction broke; the gate must fail")
+	}
+}
+
+func TestUpdateRewritesBaseline(t *testing.T) {
+	dir := t.TempDir()
+	cur := writeFile(t, dir, "cur.json", `[
+  {"variant": "SingleLargeRun/serial", "iterations": 5, "ns_per_op": 90000000},
+  {"variant": "CheckpointClone/delta", "iterations": 1000, "ns_per_op": 35000}
+]`)
+	base := writeFile(t, dir, "base.json", goodBaseline)
+	if err := run([]string{"-current", cur, "-baseline", base, "-update"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got baseline
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Entries[0].NsPerOp != 90000000 || got.Entries[1].NsPerOp != 35000 {
+		t.Errorf("update should rewrite ns_per_op from current, got %+v", got.Entries)
+	}
+	if got.Entries[1].Tolerance != 1.25 || got.Entries[0].CeilingNs != 1000000000 {
+		t.Errorf("update must preserve tolerances and ceilings, got %+v", got.Entries)
+	}
+	// The updated baseline must gate cleanly against the measurements it was
+	// refreshed from.
+	if err := run([]string{"-current", cur, "-baseline", base}, os.Stdout); err != nil {
+		t.Fatalf("freshly updated baseline should pass its own gate: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.json", goodBaseline)
+	bad := writeFile(t, dir, "bad.json", `[{"variant": "", "ns_per_op": 5}]`)
+	err := run([]string{"-current", bad, "-baseline", base}, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "empty variant") {
+		t.Errorf("empty variant name should be rejected, got %v", err)
+	}
+	if err := run([]string{"-baseline", base}, os.Stdout); err == nil {
+		t.Error("missing -current should be rejected")
+	}
+}

@@ -56,7 +56,7 @@ func main() {
 var specFlags = []string{
 	"lc", "load", "instances", "batch", "scheme", "slack", "requests", "seed",
 	"loadsched", "nodes", "fanout", "quorum", "balancer", "hedge",
-	"l1kb", "l2kb", "inclusive", "nohier",
+	"l1kb", "l2kb", "inclusive", "nohier", "intraparallel",
 }
 
 // run is the testable entry point: it parses args, lowers them (or the
@@ -78,6 +78,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		seed         = fs.Uint64("seed", 1, "random seed")
 		loadSched    = fs.String("loadsched", "const", "time-varying load schedule for the LC instances (const, burst:at=,dur=,x=[,period=], ramp:dur=,to=[,at=,from=], diurnal:period=[,amp=], flash:at=,x=,decay=, mmpp:x=,on=,off=[,lo=]); non-constant schedules also print per-window tails")
 		parallelism  = fs.Int("parallelism", 0, "workers for the per-instance isolation baselines and per-node cluster simulations (0 = GOMAXPROCS); results are identical at any setting")
+		intraPar     = fs.Int("intraparallel", 0, "workers one simulation may use to speculatively pre-step independent batch apps between scheduler quanta (0 = auto, 1 = strictly serial); results are identical at any setting")
 		nodes        = fs.Int("nodes", 1, "cluster size: replica nodes, one latency-critical replica plus the batch set each (1 = plain single-node mix)")
 		fanout       = fs.Int("fanout", 1, "cluster fan-out: nodes each query touches; the query completes at its quorum-th response")
 		quorum       = fs.Int("quorum", 0, "cluster quorum: leaf responses that complete a query (0 = fanout, i.e. wait for the slowest leaf)")
@@ -129,6 +130,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			loadSched: *loadSched, nodes: *nodes, fanout: *fanout, quorum: *quorum,
 			balancer: *balancer, hedge: *hedge,
 			l1KB: *l1KB, l2KB: *l2KB, inclusive: *inclusive, noHier: *noHier,
+			intraParallel: *intraPar,
 		})
 		if err != nil {
 			return err
@@ -169,6 +171,7 @@ type flagSpec struct {
 	hedge                 float64
 	l1KB, l2KB            float64
 	inclusive, noHier     bool
+	intraParallel         int
 }
 
 // specFromFlags lowers the flag form to the same scenario spec a file would
@@ -197,6 +200,7 @@ func specFromFlags(f flagSpec) (scenario.Spec, error) {
 		}
 		spec.Machine.InclusiveL2 = f.inclusive
 	}
+	spec.Machine.IntraParallel = f.intraParallel
 	lcApp := scenario.App{LC: f.lc, Load: f.load}
 	sched, err := workload.ParseSchedule(f.loadSched)
 	if err != nil {

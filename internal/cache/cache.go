@@ -64,6 +64,23 @@ type Cache interface {
 	Clone() Cache
 }
 
+// Sealed is an immutable snapshot of a cache's complete state. Forking is
+// cheap (bookkeeping proportional to the chunk count, not the capacity) and
+// safe from multiple goroutines concurrently.
+type Sealed interface {
+	// Fork returns a new independent cache initialised from the snapshot.
+	Fork() Cache
+}
+
+// Sealer is implemented by cache arrays that support delta snapshots. Seal
+// freezes the current state into an immutable Sealed image and leaves the
+// receiver running as a copy-on-write fork of that image: subsequent accesses
+// materialise storage chunks on demand. Sealing a cache that is itself an
+// untouched fork of an earlier snapshot is O(1) and returns that snapshot.
+type Sealer interface {
+	Seal() Sealed
+}
+
 // Stats holds cumulative whole-cache statistics.
 type Stats struct {
 	Accesses        uint64
@@ -128,18 +145,6 @@ func (m ReplacementMode) String() string {
 	}
 }
 
-// line is one cache line's bookkeeping state. The layout is kept to 32 bytes
-// (two lines per 64-byte hardware cache line) because the zcache replacement
-// walk performs ~50 scattered line loads per miss and is bound by how many of
-// them fit in cache.
-type line struct {
-	addr    uint64
-	lastUse uint64
-	meta    uint64
-	part    int32
-	valid   bool
-}
-
 // partitionTable tracks per-partition targets, sizes, and statistics.
 type partitionTable struct {
 	targets []uint64
@@ -162,6 +167,13 @@ func (t *partitionTable) clone() *partitionTable {
 	copy(c.sizes, t.sizes)
 	copy(c.stats, t.stats)
 	return c
+}
+
+// reset clears the table to its freshly constructed state in place.
+func (t *partitionTable) reset() {
+	clear(t.targets)
+	clear(t.sizes)
+	clear(t.stats)
 }
 
 func (t *partitionTable) valid(p PartitionID) bool {

@@ -113,14 +113,12 @@ func DefaultHierarchy() HierarchyConfig {
 	}
 }
 
-// plSlot is one private-level slot: the line address and its LRU stamp, where
-// stamp 0 means invalid. Tags and stamps are interleaved (16 bytes per way)
-// so a 4-way set is a single 64-byte hardware cache line — the fused
-// probe+fill scan touches exactly one line per L1 access.
-type plSlot struct {
-	addr uint64
-	use  uint64
-}
+// A private-level slot is two interleaved words — the line address and its
+// LRU stamp, where stamp 0 means invalid (16 bytes per way, so a 4-way set is
+// a single 64-byte hardware cache line and the fused probe+fill scan touches
+// exactly one line per L1 access). Slots live in a flat word slice that can
+// be carved out of a per-application arena slab: the whole hierarchy's
+// private state then clones with one copy.
 
 // PrivateLevel is one private set-associative filter cache with LRU
 // replacement. It stores only tags — private levels filter the stream; the
@@ -130,26 +128,42 @@ type PrivateLevel struct {
 	numSets   uint64
 	ways      uint64
 	inclusive bool
-	slots     []plSlot
+	words     []uint64 // 2 per slot: addr, use (0 = invalid)
 	clock     uint64
 	stats     LevelStats
 }
 
-// NewPrivateLevel builds a private level from its configuration. It returns
-// nil (a valid "always miss" level for the Hierarchy) when the level is
-// disabled.
+// LevelWords returns the storage a level needs, in 8-byte words, for use with
+// NewPrivateLevelIn (0 for a disabled level).
+func LevelWords(cfg LevelConfig) int { return int(2 * cfg.Lines) }
+
+// NewPrivateLevel builds a private level from its configuration, with its own
+// storage. It returns nil (a valid "always miss" level for the Hierarchy)
+// when the level is disabled.
 func NewPrivateLevel(cfg LevelConfig) (*PrivateLevel, error) {
+	return NewPrivateLevelIn(cfg, nil)
+}
+
+// NewPrivateLevelIn builds a private level over caller-provided zeroed
+// storage of exactly LevelWords(cfg) words (pass nil to self-allocate). It
+// returns nil when the level is disabled.
+func NewPrivateLevelIn(cfg LevelConfig, words []uint64) (*PrivateLevel, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if !cfg.Enabled() {
 		return nil, nil
 	}
+	if words == nil {
+		words = make([]uint64, LevelWords(cfg))
+	} else if len(words) != LevelWords(cfg) {
+		return nil, fmt.Errorf("cache: private level given %d words of storage, needs %d", len(words), LevelWords(cfg))
+	}
 	return &PrivateLevel{
 		numSets:   cfg.Lines / uint64(cfg.Ways),
 		ways:      uint64(cfg.Ways),
 		inclusive: cfg.Inclusive,
-		slots:     make([]plSlot, cfg.Lines),
+		words:     words,
 	}, nil
 }
 
@@ -165,11 +179,12 @@ func (l *PrivateLevel) Stats() LevelStats { return l.stats }
 // ResetStats clears the statistics (contents are preserved).
 func (l *PrivateLevel) ResetStats() { l.stats = LevelStats{} }
 
-// set returns addr's set, given the already-mixed address hash (one hashAddr
-// serves every level of a hierarchy walk).
-func (l *PrivateLevel) set(hash uint64) []plSlot {
-	base := reduceRange(hash, l.numSets) * l.ways
-	return l.slots[base : base+l.ways]
+// set returns addr's set as its word slice (2 words per way), given the
+// already-mixed address hash (one hashAddr serves every level of a hierarchy
+// walk).
+func (l *PrivateLevel) set(hash uint64) []uint64 {
+	base := reduceRange(hash, l.numSets) * l.ways * 2
+	return l.words[base : base+l.ways*2]
 }
 
 // access is the fused probe+fill: one scan over the set either finds addr
@@ -182,24 +197,22 @@ func (l *PrivateLevel) access(hash, addr uint64) (hit bool, evicted uint64, evic
 	l.stats.Accesses++
 	set := l.set(hash)
 	victim, victimUse := 0, ^uint64(0)
-	for i := range set {
-		s := &set[i]
-		if s.use != 0 && s.addr == addr {
-			s.use = l.clock
+	for i := 0; i < len(set); i += 2 {
+		if set[i+1] != 0 && set[i] == addr {
+			set[i+1] = l.clock
 			l.stats.Hits++
 			return true, 0, false
 		}
-		if s.use < victimUse {
-			victim, victimUse = i, s.use
+		if set[i+1] < victimUse {
+			victim, victimUse = i, set[i+1]
 		}
 	}
 	l.stats.Misses++
-	v := &set[victim]
-	evicted, evictedValid = v.addr, v.use != 0
+	evicted, evictedValid = set[victim], victimUse != 0
 	if evictedValid {
 		l.stats.Evictions++
 	}
-	v.addr, v.use = addr, l.clock
+	set[victim], set[victim+1] = addr, l.clock
 	return false, evicted, evictedValid
 }
 
@@ -208,9 +221,9 @@ func (l *PrivateLevel) Probe(addr uint64) bool {
 	l.clock++
 	l.stats.Accesses++
 	set := l.set(hashAddr(addr))
-	for i := range set {
-		if set[i].use != 0 && set[i].addr == addr {
-			set[i].use = l.clock
+	for i := 0; i < len(set); i += 2 {
+		if set[i+1] != 0 && set[i] == addr {
+			set[i+1] = l.clock
 			l.stats.Hits++
 			return true
 		}
@@ -226,38 +239,68 @@ func (l *PrivateLevel) Fill(addr uint64) (evicted uint64, wasValid bool) {
 	l.clock++
 	set := l.set(hashAddr(addr))
 	victim, victimUse := 0, ^uint64(0)
-	for i := range set {
-		if set[i].use < victimUse {
-			victim, victimUse = i, set[i].use
+	for i := 0; i < len(set); i += 2 {
+		if set[i+1] < victimUse {
+			victim, victimUse = i, set[i+1]
 		}
 	}
-	v := &set[victim]
-	evicted, wasValid = v.addr, v.use != 0
+	evicted, wasValid = set[victim], victimUse != 0
 	if wasValid {
 		l.stats.Evictions++
 	}
-	v.addr, v.use = addr, l.clock
+	set[victim], set[victim+1] = addr, l.clock
 	return evicted, wasValid
 }
 
-// Clone returns a deep copy of the level (tags, LRU stamps, statistics).
-// Cloning a nil level returns nil, matching the "always miss" convention.
+// Clone returns a deep copy of the level (tags, LRU stamps, statistics) with
+// its own storage. Cloning a nil level returns nil, matching the "always
+// miss" convention.
 func (l *PrivateLevel) Clone() *PrivateLevel {
+	return l.CloneIn(nil)
+}
+
+// CloneIn is Clone with caller-provided storage of the same size (nil to
+// self-allocate); a per-application arena slab passes its carved regions here
+// so all levels of a forked hierarchy land in one contiguous block.
+func (l *PrivateLevel) CloneIn(words []uint64) *PrivateLevel {
 	if l == nil {
 		return nil
 	}
 	n := *l
-	n.slots = append([]plSlot(nil), l.slots...)
+	if words == nil {
+		n.words = append([]uint64(nil), l.words...)
+	} else {
+		copy(words, l.words)
+		n.words = words
+	}
 	return &n
+}
+
+// CopyStateFrom overwrites the level's mutable state (tags, stamps, clock,
+// statistics) with src's. Both levels must share a configuration.
+func (l *PrivateLevel) CopyStateFrom(src *PrivateLevel) {
+	copy(l.words, src.words)
+	l.clock = src.clock
+	l.stats = src.stats
+}
+
+// Reset returns the level to its freshly constructed state in place.
+func (l *PrivateLevel) Reset() {
+	if l == nil {
+		return
+	}
+	clear(l.words)
+	l.clock = 0
+	l.stats = LevelStats{}
 }
 
 // Invalidate removes addr from the level if present (back-invalidation from
 // an inclusive lower level).
 func (l *PrivateLevel) Invalidate(addr uint64) {
 	set := l.set(hashAddr(addr))
-	for i := range set {
-		if set[i].use != 0 && set[i].addr == addr {
-			set[i].use = 0
+	for i := 0; i < len(set); i += 2 {
+		if set[i+1] != 0 && set[i] == addr {
+			set[i+1] = 0
 			return
 		}
 	}
@@ -266,8 +309,8 @@ func (l *PrivateLevel) Invalidate(addr uint64) {
 // Contains reports whether addr is cached (used by tests; no stat updates).
 func (l *PrivateLevel) Contains(addr uint64) bool {
 	set := l.set(hashAddr(addr))
-	for i := range set {
-		if set[i].use != 0 && set[i].addr == addr {
+	for i := 0; i < len(set); i += 2 {
+		if set[i+1] != 0 && set[i] == addr {
 			return true
 		}
 	}
@@ -307,20 +350,48 @@ type Hierarchy struct {
 }
 
 // NewHierarchy builds the private levels for one application in front of the
-// shared cache. With both levels disabled the hierarchy degenerates to a
-// direct LLC passthrough.
+// shared cache, self-allocating their storage. With both levels disabled the
+// hierarchy degenerates to a direct LLC passthrough.
 func NewHierarchy(cfg HierarchyConfig, llc Cache) (*Hierarchy, error) {
+	return NewHierarchyIn(cfg, llc, nil)
+}
+
+// HierarchyWords returns the storage both private levels need, in words, for
+// use with NewHierarchyIn.
+func HierarchyWords(cfg HierarchyConfig) int {
+	return LevelWords(cfg.L1) + LevelWords(cfg.L2)
+}
+
+// NewHierarchyIn is NewHierarchy with caller-provided zeroed storage of
+// exactly HierarchyWords(cfg) words (nil to self-allocate): the L1 occupies
+// the low words, the L2 the rest, so one application's whole private-level
+// state is a single contiguous region of its arena slab.
+func NewHierarchyIn(cfg HierarchyConfig, llc Cache, words []uint64) (*Hierarchy, error) {
 	if llc == nil {
 		return nil, fmt.Errorf("cache: hierarchy needs a shared LLC")
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	l1, err := NewPrivateLevel(cfg.L1)
+	if words != nil && len(words) != HierarchyWords(cfg) {
+		return nil, fmt.Errorf("cache: hierarchy given %d words of storage, needs %d", len(words), HierarchyWords(cfg))
+	}
+	var w1, w2 []uint64
+	if words != nil {
+		w1 = words[:LevelWords(cfg.L1)]
+		w2 = words[LevelWords(cfg.L1):]
+		if len(w1) == 0 {
+			w1 = nil
+		}
+		if len(w2) == 0 {
+			w2 = nil
+		}
+	}
+	l1, err := NewPrivateLevelIn(cfg.L1, w1)
 	if err != nil {
 		return nil, err
 	}
-	l2, err := NewPrivateLevel(cfg.L2)
+	l2, err := NewPrivateLevelIn(cfg.L2, w2)
 	if err != nil {
 		return nil, err
 	}
@@ -332,7 +403,45 @@ func NewHierarchy(cfg HierarchyConfig, llc Cache) (*Hierarchy, error) {
 // Hierarchies do not own the LLC, so forking a simulation clones the LLC once
 // and rebinds every application's hierarchy clone to it through this method.
 func (h *Hierarchy) CloneWithLLC(llc Cache) *Hierarchy {
-	return &Hierarchy{l1: h.l1.Clone(), l2: h.l2.Clone(), llc: llc}
+	return h.CloneWithLLCIn(llc, nil)
+}
+
+// CloneWithLLCIn is CloneWithLLC over caller-provided storage (the forked
+// application's arena region, already holding a copy of the parent's slab —
+// the level contents are copied again here, which is cheap and keeps the
+// region layout authoritative in one place).
+func (h *Hierarchy) CloneWithLLCIn(llc Cache, words []uint64) *Hierarchy {
+	var w1, w2 []uint64
+	if words != nil {
+		n1 := 0
+		if h.l1 != nil {
+			n1 = len(h.l1.words)
+			w1 = words[:n1]
+		}
+		if h.l2 != nil {
+			w2 = words[n1 : n1+len(h.l2.words)]
+		}
+	}
+	return &Hierarchy{l1: h.l1.CloneIn(w1), l2: h.l2.CloneIn(w2), llc: llc}
+}
+
+// CopyPrivateStateFrom overwrites both private levels' mutable state with
+// src's. The shared LLC binding is untouched. Used by the epoch-parallel
+// stepping engine to publish a speculated private prefix at commit time.
+func (h *Hierarchy) CopyPrivateStateFrom(src *Hierarchy) {
+	if h.l1 != nil {
+		h.l1.CopyStateFrom(src.l1)
+	}
+	if h.l2 != nil {
+		h.l2.CopyStateFrom(src.l2)
+	}
+}
+
+// Reset returns both private levels to their freshly constructed state in
+// place (the shared LLC is reset separately by its owner).
+func (h *Hierarchy) Reset() {
+	h.l1.Reset()
+	h.l2.Reset()
 }
 
 // L1 returns the private L1 level (nil when disabled).
@@ -350,11 +459,24 @@ func (h *Hierarchy) L2() *PrivateLevel { return h.l2 }
 // both levels. The walk is allocation-free; in the common case (an L1 hit) it
 // is a single one-cache-line scan.
 func (h *Hierarchy) Access(addr uint64, part PartitionID, meta uint64) HierarchyResult {
+	if level, served := h.AccessPrivate(addr); served {
+		return HierarchyResult{Level: level}
+	}
+	return h.AccessShared(addr, part, meta)
+}
+
+// AccessPrivate runs exactly the private-level portion of Access — the L1 and
+// L2 probes, fills and any inclusive back-invalidation — and reports the
+// serving level, or served == false when the access falls through to the
+// shared LLC. Splitting the walk here is what lets a speculative private
+// prefix run on a worker goroutine: the private levels are per-application
+// state, and the LLC half (AccessShared) replays serially at commit.
+func (h *Hierarchy) AccessPrivate(addr uint64) (level int, served bool) {
 	if h.l1 != nil || h.l2 != nil {
 		hash := hashAddr(addr)
 		if h.l1 != nil {
 			if hit, _, _ := h.l1.access(hash, addr); hit {
-				return HierarchyResult{Level: LevelL1}
+				return LevelL1, true
 			}
 		}
 		if h.l2 != nil {
@@ -365,10 +487,16 @@ func (h *Hierarchy) Access(addr uint64, part PartitionID, meta uint64) Hierarchy
 				h.l2.stats.BackInvalidations++
 			}
 			if hit {
-				return HierarchyResult{Level: LevelL2}
+				return LevelL2, true
 			}
 		}
 	}
+	return 0, false
+}
+
+// AccessShared runs the shared-LLC half of Access for an address whose
+// private probes (AccessPrivate) already missed.
+func (h *Hierarchy) AccessShared(addr uint64, part PartitionID, meta uint64) HierarchyResult {
 	res := h.llc.Access(addr, part, meta)
 	level := LevelMemory
 	if res.Hit {

@@ -1,21 +1,42 @@
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/arena"
+)
 
 // SetAssoc is a set-associative cache array with LRU ordering inside each set.
 // It supports three victim-selection modes: unpartitioned LRU, Vantage-style
 // partitioning (soft partitioning on a set-associative array, as in Figure 13
 // of the paper), and way-partitioning.
+//
+// Line state lives in one contiguous arena slab, four words per line
+// (address, lastUse, metadata, part<<1|valid) in set-major order, so a whole
+// set is one contiguous run: an access touches one storage range, Clone is a
+// single copy, and Seal/Fork give chunk-granular copy-on-write snapshots like
+// the zcache's.
 type SetAssoc struct {
 	numSets  uint64
 	ways     int
 	mode     ReplacementMode
-	lines    []line // numSets * ways, set-major
+	slab     *arena.Arena
+	words    []uint64 // 4 * numSets * ways, set-major
 	parts    *partitionTable
 	stats    Stats
 	clock    uint64
 	wayOwner []PartitionID // way -> owning partition (ModeWayPartition only)
 }
+
+// Per-line word layout within the slab.
+const (
+	saStride   = 4
+	saAddr     = 0
+	saUse      = 1
+	saMeta     = 2
+	saFlags    = 3 // part<<1 | valid
+	saValidBit = uint64(1)
+)
 
 // NewSetAssoc builds a set-associative cache with totalLines lines and the
 // given associativity, replacement mode and partition count. totalLines must
@@ -34,22 +55,29 @@ func NewSetAssoc(totalLines uint64, ways int, mode ReplacementMode, numPartition
 	if mode == ModeWayPartition && numPartitions > ways {
 		return nil, fmt.Errorf("cache: way-partitioning cannot support %d partitions with %d ways", numPartitions, ways)
 	}
+	slab := arena.New(int(saStride * totalLines))
 	c := &SetAssoc{
 		numSets: numSets,
 		ways:    ways,
 		mode:    mode,
-		lines:   make([]line, totalLines),
+		slab:    slab,
+		words:   slab.Data(),
 		parts:   newPartitionTable(numPartitions),
 	}
 	if mode == ModeWayPartition {
 		c.wayOwner = make([]PartitionID, ways)
-		// Initially spread ways evenly across partitions.
-		for w := 0; w < ways; w++ {
-			c.wayOwner[w] = PartitionID(w % numPartitions)
-		}
+		c.initWayOwner()
 		c.syncTargetsFromWays()
 	}
 	return c, nil
+}
+
+// initWayOwner spreads ways evenly across partitions (the construction-time
+// assignment, also restored by Reset).
+func (c *SetAssoc) initWayOwner() {
+	for w := 0; w < c.ways; w++ {
+		c.wayOwner[w] = PartitionID(w % c.NumPartitions())
+	}
 }
 
 // Mode returns the replacement mode.
@@ -193,8 +221,9 @@ func (c *SetAssoc) WaysOwnedBy(p PartitionID) int {
 }
 
 // Access implements Cache. This is one of the simulator's two hot paths: the
-// hit scan is a single pass with the per-partition stat row hoisted out, and
-// set indexing avoids the 64-bit modulo.
+// hit scan is a single pass over the set's contiguous words with the
+// per-partition stat row hoisted out, set indexing avoids the 64-bit modulo,
+// and a single EnsureRange covers the whole set's copy-on-write chunks.
 func (c *SetAssoc) Access(addr uint64, part PartitionID, meta uint64) AccessResult {
 	if uint(part) >= uint(len(c.parts.stats)) {
 		part = 0
@@ -205,18 +234,21 @@ func (c *SetAssoc) Access(addr uint64, part PartitionID, meta uint64) AccessResu
 	ps.Accesses++
 
 	setIdx := reduceRange(hashAddr(addr), c.numSets)
-	base := setIdx * uint64(c.ways)
-	set := c.lines[base : base+uint64(c.ways)]
+	base := setIdx * uint64(c.ways) * saStride
+	end := base + uint64(c.ways)*saStride
+	if c.slab.Pending() {
+		c.slab.EnsureRange(base, end)
+	}
+	set := c.words[base:end]
 
 	// Lookup.
-	for i := range set {
-		ln := &set[i]
-		if ln.addr == addr && ln.valid {
+	for i := 0; i < len(set); i += saStride {
+		if set[i+saAddr] == addr && set[i+saFlags]&saValidBit != 0 {
 			c.stats.Hits++
 			ps.Hits++
-			res := AccessResult{Hit: true, PrevMeta: ln.meta}
-			ln.lastUse = c.clock
-			ln.meta = meta
+			res := AccessResult{Hit: true, PrevMeta: set[i+saMeta]}
+			set[i+saUse] = c.clock
+			set[i+saMeta] = meta
 			// A hit does not change partition ownership of the line: in the
 			// workloads used here address spaces are disjoint per app, so
 			// cross-partition hits do not occur in practice.
@@ -229,16 +261,16 @@ func (c *SetAssoc) Access(addr uint64, part PartitionID, meta uint64) AccessResu
 	ps.Misses++
 	victim, forced := c.chooseVictim(set, part)
 	res := AccessResult{}
-	v := &set[victim]
-	if v.valid {
+	v := set[victim*saStride : victim*saStride+saStride]
+	if v[saFlags]&saValidBit != 0 {
+		vp := PartitionID(v[saFlags] >> 1)
 		res.Evicted = true
-		res.EvictedPartition = PartitionID(v.part)
+		res.EvictedPartition = vp
 		res.ForcedEviction = forced
 		c.stats.Evictions++
 		if forced {
 			c.stats.ForcedEvictions++
 		}
-		vp := v.part
 		if uint(vp) < uint(len(c.parts.stats)) {
 			c.parts.stats[vp].Evictions++
 			if c.parts.sizes[vp] > 0 {
@@ -246,28 +278,33 @@ func (c *SetAssoc) Access(addr uint64, part PartitionID, meta uint64) AccessResu
 			}
 		}
 	}
-	*v = line{valid: true, addr: addr, part: int32(part), lastUse: c.clock, meta: meta}
+	v[saAddr] = addr
+	v[saUse] = c.clock
+	v[saMeta] = meta
+	v[saFlags] = uint64(part)<<1 | saValidBit
 	c.parts.sizes[part]++
 	return res
 }
 
-// chooseVictim selects the way to replace within a set and reports whether the
-// eviction was "forced" (victim from a partition at or below its target).
-func (c *SetAssoc) chooseVictim(set []line, part PartitionID) (int, bool) {
+// chooseVictim selects the way to replace within a set (given as its word
+// slice) and reports whether the eviction was "forced" (victim from a
+// partition at or below its target).
+func (c *SetAssoc) chooseVictim(set []uint64, part PartitionID) (int, bool) {
 	// Invalid ways are always preferred.
 	switch c.mode {
 	case ModeWayPartition:
 		// Only the ways owned by this partition are candidates.
 		bestIdx, bestUse := -1, uint64(0)
-		for w := range set {
+		for w := 0; w < c.ways; w++ {
 			if c.wayOwner[w] != part {
 				continue
 			}
-			if !set[w].valid {
+			ln := set[w*saStride : w*saStride+saStride]
+			if ln[saFlags]&saValidBit == 0 {
 				return w, false
 			}
-			if bestIdx < 0 || set[w].lastUse < bestUse {
-				bestIdx, bestUse = w, set[w].lastUse
+			if bestIdx < 0 || ln[saUse] < bestUse {
+				bestIdx, bestUse = w, ln[saUse]
 			}
 		}
 		if bestIdx < 0 {
@@ -279,8 +316,8 @@ func (c *SetAssoc) chooseVictim(set []line, part PartitionID) (int, bool) {
 		// is normal way-partition behaviour, also not "forced".
 		return bestIdx, false
 	case ModeVantage:
-		for w := range set {
-			if !set[w].valid {
+		for w := 0; w < c.ways; w++ {
+			if set[w*saStride+saFlags]&saValidBit == 0 {
 				return w, false
 			}
 		}
@@ -289,8 +326,9 @@ func (c *SetAssoc) chooseVictim(set []line, part PartitionID) (int, bool) {
 		// bounds checks on the partition table.
 		targets, sizes := c.parts.targets, c.parts.sizes
 		bestIdx, bestUse, bestOver := -1, uint64(0), uint64(0)
-		for w := range set {
-			p := set[w].part
+		for w := 0; w < c.ways; w++ {
+			ln := set[w*saStride : w*saStride+saStride]
+			p := ln[saFlags] >> 1
 			size := sizes[p]
 			if PartitionID(p) == part {
 				size++
@@ -299,8 +337,8 @@ func (c *SetAssoc) chooseVictim(set []line, part PartitionID) (int, bool) {
 				continue
 			}
 			over := size - targets[p]
-			if bestIdx < 0 || over > bestOver || (over == bestOver && set[w].lastUse < bestUse) {
-				bestIdx, bestUse, bestOver = w, set[w].lastUse, over
+			if bestIdx < 0 || over > bestOver || (over == bestOver && ln[saUse] < bestUse) {
+				bestIdx, bestUse, bestOver = w, ln[saUse], over
 			}
 		}
 		if bestIdx >= 0 {
@@ -310,8 +348,8 @@ func (c *SetAssoc) chooseVictim(set []line, part PartitionID) (int, bool) {
 		// that makes Vantage on low-associativity arrays lose its guarantees).
 		return c.lruVictim(set), true
 	default: // ModeLRU
-		for w := range set {
-			if !set[w].valid {
+		for w := 0; w < c.ways; w++ {
+			if set[w*saStride+saFlags]&saValidBit == 0 {
 				return w, false
 			}
 		}
@@ -319,11 +357,11 @@ func (c *SetAssoc) chooseVictim(set []line, part PartitionID) (int, bool) {
 	}
 }
 
-func (c *SetAssoc) lruVictim(set []line) int {
-	best, bestUse := 0, set[0].lastUse
-	for w := 1; w < len(set); w++ {
-		if set[w].lastUse < bestUse {
-			best, bestUse = w, set[w].lastUse
+func (c *SetAssoc) lruVictim(set []uint64) int {
+	best, bestUse := 0, set[saUse]
+	for w := 1; w < c.ways; w++ {
+		if use := set[w*saStride+saUse]; use < bestUse {
+			best, bestUse = w, use
 		}
 	}
 	return best
@@ -332,7 +370,8 @@ func (c *SetAssoc) lruVictim(set []line) int {
 // Clone implements Cache.
 func (c *SetAssoc) Clone() Cache {
 	n := *c
-	n.lines = append([]line(nil), c.lines...)
+	n.slab = c.slab.Clone()
+	n.words = n.slab.Data()
 	n.parts = c.parts.clone()
 	if c.wayOwner != nil {
 		n.wayOwner = append([]PartitionID(nil), c.wayOwner...)
@@ -340,16 +379,69 @@ func (c *SetAssoc) Clone() Cache {
 	return &n
 }
 
+// setAssocSnapshot is a sealed set-associative image, mirroring the zcache's.
+type setAssocSnapshot struct {
+	tpl  SetAssoc
+	snap *arena.Snapshot
+}
+
+// Seal implements Sealer.
+func (c *SetAssoc) Seal() Sealed {
+	snap := c.slab.Seal()
+	c.words = c.slab.Data()
+	tpl := *c
+	tpl.parts = c.parts.clone()
+	if c.wayOwner != nil {
+		tpl.wayOwner = append([]PartitionID(nil), c.wayOwner...)
+	}
+	tpl.slab = nil
+	tpl.words = nil
+	return &setAssocSnapshot{tpl: tpl, snap: snap}
+}
+
+// Fork implements Sealed.
+func (zs *setAssocSnapshot) Fork() Cache {
+	n := zs.tpl
+	n.parts = zs.tpl.parts.clone()
+	if zs.tpl.wayOwner != nil {
+		n.wayOwner = append([]PartitionID(nil), zs.tpl.wayOwner...)
+	}
+	n.slab = zs.snap.Fork()
+	n.words = n.slab.Data()
+	return &n
+}
+
+// Reset returns the cache to its freshly constructed state without new
+// allocations: the slab is detached from any parent snapshot and zeroed in
+// place, partition state and counters are cleared, and the way assignment is
+// restored to the construction-time spread.
+func (c *SetAssoc) Reset() {
+	c.slab.Reset()
+	c.words = c.slab.Data()
+	c.clock = 0
+	c.stats = Stats{}
+	c.parts.reset()
+	if c.wayOwner != nil {
+		c.initWayOwner()
+		c.syncTargetsFromWays()
+	}
+}
+
 // Contains reports whether addr is currently cached (used by tests).
 func (c *SetAssoc) Contains(addr uint64) bool {
 	setIdx := reduceRange(hashAddr(addr), c.numSets)
-	base := setIdx * uint64(c.ways)
-	for i := 0; i < c.ways; i++ {
-		if c.lines[base+uint64(i)].valid && c.lines[base+uint64(i)].addr == addr {
+	base := setIdx * uint64(c.ways) * saStride
+	c.slab.EnsureRange(base, base+uint64(c.ways)*saStride)
+	for w := 0; w < c.ways; w++ {
+		i := base + uint64(w)*saStride
+		if c.words[i+saFlags]&saValidBit != 0 && c.words[i+saAddr] == addr {
 			return true
 		}
 	}
 	return false
 }
 
-var _ Cache = (*SetAssoc)(nil)
+var (
+	_ Cache  = (*SetAssoc)(nil)
+	_ Sealer = (*SetAssoc)(nil)
+)

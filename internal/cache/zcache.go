@@ -1,6 +1,10 @@
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/arena"
+)
 
 // ZCache is a skew-associative cache in the style of Sanchez & Kozyrakis
 // (MICRO 2010): each way indexes the array with its own hash function, and on
@@ -14,23 +18,30 @@ import "fmt"
 // essentially never victimised — the property Ubik's transient analysis needs.
 //
 // The replacement walk is the simulator's hottest code (every simulated miss
-// visits ~candidates scattered slots), so the array is stored
-// structure-of-arrays with the replacement state packed into a single word
-// per slot: a walk candidate costs one 8-byte load from the info array
-// instead of a whole line struct, line addresses are loaded only for the few
-// nodes the BFS actually expands, and metadata only on hits and evictions.
-// Candidates are scored as they are appended (no separate victim-selection
-// passes), duplicate slots are rejected through a small generation-stamped
-// hash table instead of a linear scan, and slot indexing is divide-free. All
-// walk state is preallocated; an access never allocates.
+// visits ~candidates scattered slots), so the array lives in one contiguous
+// arena slab laid out for the walk's access pattern: each slot's address and
+// replacement-state word are adjacent (a 16-byte pair, always within one
+// cache line), so the walk's info load warms the address load that a BFS
+// expansion of the same node needs, and the lookup's address load warms the
+// info load of a hit. Caller metadata, touched only on hits and evictions,
+// sits in a separate region of the same slab. Candidates are scored as they
+// are appended (no separate victim-selection passes), duplicate slots are
+// rejected through a small generation-stamped hash table instead of a linear
+// scan, and slot indexing is divide-free. All walk state is preallocated; an
+// access never allocates.
+//
+// The slab makes snapshots cheap: Seal freezes the whole array as an
+// immutable arena.Snapshot and Fork starts a copy-on-write child that
+// materialises 4 KiB chunks only as accesses touch them, so forking stops
+// scaling with the LLC size.
 type ZCache struct {
 	numSetsPerWay uint64
 	ways          int
 	candidates    int
 	mode          ReplacementMode
-	addrs         []uint64 // slot -> cached line address (way-major)
-	info          []uint64 // slot -> lastUse<<zUseShift | part<<zPartShift | valid
-	metas         []uint64 // slot -> caller metadata
+	slab          *arena.Arena
+	words         []uint64 // slab storage: [0,2n) (addr,info) pairs, [2n,3n) metas
+	metaOff       uint64   // = 2 * NumLines
 	parts         *partitionTable
 	stats         Stats
 	clock         uint64
@@ -120,14 +131,15 @@ func NewZCache(totalLines uint64, ways, candidates int, mode ReplacementMode, nu
 	for w := range wayMuls {
 		wayMuls[w] = splitmix64(uint64(w)) | 1
 	}
+	slab := arena.New(int(3 * totalLines))
 	return &ZCache{
 		numSetsPerWay: setsPerWay,
 		ways:          ways,
 		candidates:    candidates,
 		mode:          mode,
-		addrs:         make([]uint64, totalLines),
-		info:          make([]uint64, totalLines),
-		metas:         make([]uint64, totalLines),
+		slab:          slab,
+		words:         slab.Data(),
+		metaOff:       2 * totalLines,
 		parts:         newPartitionTable(numPartitions),
 		walkNodes:     make([]walkNode, 0, candidates+ways),
 		seenTab:       make([]seenEntry, seenSize),
@@ -221,27 +233,38 @@ func (c *ZCache) Access(addr uint64, part PartitionID, meta uint64) AccessResult
 	ps.Accesses++
 	newInfo := c.clock<<zUseShift | uint64(part)<<zPartShift | zValidBit
 
-	// Lookup: the line can only be in one of its ways' positions. The valid
-	// bit is consulted only on an address match, so the common lookup touches
-	// just the address array.
-	addrs := c.addrs
+	// Lookup: the line can only be in one of its ways' positions. A slot's
+	// address and info words form one 16-byte pair, so the valid-bit check on
+	// an address match is served from the line the address load just pulled
+	// in. Pairs start at even word offsets and the copy-on-write chunk size is
+	// even, so one Ensure covers both words of a pair.
+	slab := c.slab
+	pending := slab.Pending()
+	words := c.words
 	h := baseHash(addr)
 	posBuf := c.posBuf
 	for w := 0; w < c.ways; w++ {
 		pos := c.slotIndexHashed(h, w)
 		posBuf[w] = pos
-		if addrs[pos] == addr {
-			if inf := c.info[pos]; inf&zValidBit != 0 {
+		if pending {
+			slab.Ensure(2 * pos)
+		}
+		if words[2*pos] == addr {
+			if inf := words[2*pos+1]; inf&zValidBit != 0 {
 				c.stats.Hits++
 				ps.Hits++
-				res := AccessResult{Hit: true, PrevMeta: c.metas[pos]}
+				mi := c.metaOff + pos
+				if pending {
+					slab.Ensure(mi)
+				}
+				res := AccessResult{Hit: true, PrevMeta: words[mi]}
 				// A hit refreshes the line's recency but must not change its
 				// partition ownership (in the workloads used here address
 				// spaces are disjoint per app, but the occupancy counters
 				// would silently diverge if a cross-partition hit relabelled
 				// the line without moving the sizes).
-				c.info[pos] = c.clock<<zUseShift | inf&(1<<zUseShift-1)
-				c.metas[pos] = meta
+				words[2*pos+1] = c.clock<<zUseShift | inf&(1<<zUseShift-1)
+				words[mi] = meta
 				return res
 			}
 		}
@@ -255,7 +278,7 @@ func (c *ZCache) Access(addr uint64, part PartitionID, meta uint64) AccessResult
 	all := c.walkNodes
 	res := AccessResult{}
 	vpos := all[victimIdx].pos
-	if vinf := c.info[vpos]; vinf&zValidBit != 0 {
+	if vinf := words[2*vpos+1]; vinf&zValidBit != 0 {
 		vp := infoPart(vinf)
 		res.Evicted = true
 		res.EvictedPartition = vp
@@ -272,20 +295,30 @@ func (c *ZCache) Access(addr uint64, part PartitionID, meta uint64) AccessResult
 		}
 	}
 	// Relocation chain: move each ancestor's line into its child's slot,
-	// freeing a root slot for the incoming line.
+	// freeing a root slot for the incoming line. Every position on the chain
+	// is a walk node, whose pair the walk already materialised; only the
+	// metadata words may still live in the parent snapshot.
+	pending = slab.Pending()
 	node := victimIdx
 	for all[node].parent >= 0 {
 		parent := all[node].parent
 		dst, src := all[node].pos, all[parent].pos
-		addrs[dst] = addrs[src]
-		c.info[dst] = c.info[src]
-		c.metas[dst] = c.metas[src]
+		if pending {
+			slab.Ensure(c.metaOff + dst)
+			slab.Ensure(c.metaOff + src)
+		}
+		words[2*dst] = words[2*src]
+		words[2*dst+1] = words[2*src+1]
+		words[c.metaOff+dst] = words[c.metaOff+src]
 		node = int(parent)
 	}
 	ipos := all[node].pos
-	addrs[ipos] = addr
-	c.info[ipos] = newInfo
-	c.metas[ipos] = meta
+	if pending {
+		slab.Ensure(c.metaOff + ipos)
+	}
+	words[2*ipos] = addr
+	words[2*ipos+1] = newInfo
+	words[c.metaOff+ipos] = meta
 	c.parts.sizes[part]++
 	return res
 }
@@ -307,7 +340,9 @@ func (c *ZCache) replacementWalk(inserting PartitionID) (int, bool) {
 	// every candidate.
 	c.gen++
 	gen := c.gen
-	info := c.info
+	slab := c.slab
+	pending := slab.Pending()
+	words := c.words
 	seen, seenMask := c.seenTab, c.seenMask
 	nodes := c.walkNodes[:cap(c.walkNodes)]
 	n := 0
@@ -337,8 +372,8 @@ func (c *ZCache) replacementWalk(inserting PartitionID) (int, bool) {
 	var bestOver, bestVanUse uint64 // its quota excess and lastUse
 	lruIdx, lruUse := 0, ^uint64(0) // global LRU candidate (fallback / ModeLRU)
 
-	// Roots: the incoming address's own slots, whose positions the lookup
-	// that just missed already computed.
+	// Roots: the incoming address's own slots, whose positions (and pairs —
+	// the lookup ensured them) the lookup that just missed already computed.
 	roots := c.posBuf
 	for w := 0; w < ways; w++ {
 		pos := roots[w]
@@ -358,7 +393,7 @@ func (c *ZCache) replacementWalk(inserting PartitionID) (int, bool) {
 			i := n
 			nodes[i] = walkNode{pos: pos, way: int32(w), parent: -1}
 			n++
-			inf := info[pos]
+			inf := words[2*pos+1]
 			if inf&zValidBit == 0 {
 				c.walkNodes = nodes[:n]
 				return i, false
@@ -376,11 +411,12 @@ func (c *ZCache) replacementWalk(inserting PartitionID) (int, bool) {
 
 	// Expand breadth-first (the buffer itself is the queue) until the
 	// candidate budget is reached. Every node reached here holds a valid line
-	// (an invalid slot would have ended the walk above), and only the nodes
-	// the BFS actually expands pay the load of their line's address.
+	// (an invalid slot would have ended the walk above), and the address load
+	// of an expanded node is served from the cache line its info load already
+	// brought in.
 	for scan := 0; scan < n && n < cand; scan++ {
 		node := nodes[scan]
-		nodeHash := baseHash(c.addrs[node.pos])
+		nodeHash := baseHash(words[2*node.pos])
 		for w := 0; w < ways; w++ {
 			if int32(w) == node.way {
 				continue
@@ -405,7 +441,10 @@ func (c *ZCache) replacementWalk(inserting PartitionID) (int, bool) {
 				i := n
 				nodes[i] = walkNode{pos: pos, way: int32(w), parent: int32(scan)}
 				n++
-				inf := info[pos]
+				if pending {
+					slab.Ensure(2 * pos)
+				}
+				inf := words[2*pos+1]
 				if inf&zValidBit == 0 {
 					c.walkNodes = nodes[:n]
 					return i, false
@@ -434,16 +473,15 @@ func (c *ZCache) replacementWalk(inserting PartitionID) (int, bool) {
 	return lruIdx, false // ModeLRU
 }
 
-// Clone implements Cache. The slot arrays, partition table and counters are
+// Clone implements Cache. The slot slab, partition table and counters are
 // deep-copied; the replacement-walk scratch state (whose contents never
 // influence a walk's outcome — entries are generation-stamped and the
 // generation restarts with the clone) is allocated fresh. The per-way index
 // multipliers are immutable after construction and shared.
 func (c *ZCache) Clone() Cache {
 	n := *c
-	n.addrs = append([]uint64(nil), c.addrs...)
-	n.info = append([]uint64(nil), c.info...)
-	n.metas = append([]uint64(nil), c.metas...)
+	n.slab = c.slab.Clone()
+	n.words = n.slab.Data()
 	n.parts = c.parts.clone()
 	n.walkNodes = make([]walkNode, 0, cap(c.walkNodes))
 	n.seenTab = make([]seenEntry, len(c.seenTab))
@@ -453,15 +491,74 @@ func (c *ZCache) Clone() Cache {
 	return &n
 }
 
+// zcacheSnapshot is a sealed zcache image: the slot slab as an immutable
+// arena snapshot plus a frozen copy of the scalar state and partition table.
+type zcacheSnapshot struct {
+	tpl  ZCache
+	snap *arena.Snapshot
+}
+
+// Seal implements Sealer. The slot slab is frozen into an immutable snapshot
+// (O(1) when the cache is itself an untouched fork of an earlier snapshot —
+// repeated checkpoints of a paused simulation cost nothing) and the receiver
+// keeps running as a copy-on-write fork of it.
+func (c *ZCache) Seal() Sealed {
+	snap := c.slab.Seal()
+	c.words = c.slab.Data()
+	tpl := *c
+	tpl.parts = c.parts.clone()
+	tpl.slab = nil
+	tpl.words = nil
+	tpl.walkNodes = nil
+	tpl.seenTab = nil
+	tpl.overTab = nil
+	tpl.posBuf = nil
+	tpl.gen = 0
+	return &zcacheSnapshot{tpl: tpl, snap: snap}
+}
+
+// Fork implements Sealed: it builds an independent zcache whose slab is a
+// lazy copy-on-write fork of the snapshot, so the fork's cost is bookkeeping
+// proportional to the chunk count, not the LLC size.
+func (zs *zcacheSnapshot) Fork() Cache {
+	n := zs.tpl
+	n.parts = zs.tpl.parts.clone()
+	n.slab = zs.snap.Fork()
+	n.words = n.slab.Data()
+	n.walkNodes = make([]walkNode, 0, n.candidates+n.ways)
+	n.seenTab = make([]seenEntry, zs.tpl.seenMask+1)
+	n.overTab = make([]uint64, len(n.parts.targets))
+	n.posBuf = make([]uint64, n.ways)
+	return &n
+}
+
+// Reset returns the cache to its freshly constructed state without new
+// allocations: the slab is detached from any parent snapshot and zeroed in
+// place, and partition state and counters are cleared. The walk's dedup table
+// and generation counter are deliberately kept (the generation keeps
+// counting, so stale stamps can never alias a future walk, and scratch
+// contents never influence a walk's outcome).
+func (c *ZCache) Reset() {
+	c.slab.Reset()
+	c.words = c.slab.Data()
+	c.clock = 0
+	c.stats = Stats{}
+	c.parts.reset()
+}
+
 // Contains reports whether addr is currently cached (used by tests).
 func (c *ZCache) Contains(addr uint64) bool {
 	for w := 0; w < c.ways; w++ {
 		pos := c.slotIndex(addr, w)
-		if c.addrs[pos] == addr && c.info[pos]&zValidBit != 0 {
+		c.slab.Ensure(2 * pos)
+		if c.words[2*pos] == addr && c.words[2*pos+1]&zValidBit != 0 {
 			return true
 		}
 	}
 	return false
 }
 
-var _ Cache = (*ZCache)(nil)
+var (
+	_ Cache  = (*ZCache)(nil)
+	_ Sealer = (*ZCache)(nil)
+)

@@ -131,7 +131,7 @@ func nodeKey(node NodeSpec, schemeKey string, times []uint64, warmup int, slow [
 		batch = append(batch, fmt.Sprintf("%#v|%d|%d", *b.Batch, b.ROIInstructions, b.Seed))
 	}
 	return fmt.Sprintf("clnode|%s|%#v|%#v|%v|%v|%d|%d|%v|%d|%v|warm=%d|slow=%v|restart=%v|times=%d:%x",
-		schemeKey, node.Config, *lc.LC, lc.Load, lc.MeanInterarrival, lc.TargetLines, lc.DeadlineCycles,
+		schemeKey, node.Config.PoolIdentity(), *lc.LC, lc.Load, lc.MeanInterarrival, lc.TargetLines, lc.DeadlineCycles,
 		lc.RequestFactor, lc.Seed, batch, warmup, slow, restarts, len(times), h)
 }
 

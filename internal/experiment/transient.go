@@ -129,7 +129,7 @@ func runTransientMixWarmFork(pool *sim.WarmPool, cfg sim.Config, scale Scale, sc
 		return sim.Result{}, err
 	}
 	key := fmt.Sprintf("transient-warm|%#v|%s|%#v|%v|%d|%v|%d",
-		runCfg, scheme.Name, base, reqFactor, scale.BatchROI, scale.Seed, warmCycle)
+		runCfg.PoolIdentity(), scheme.Name, base, reqFactor, scale.BatchROI, scale.Seed, warmCycle)
 	cp, err := pool.Checkpoint(key, func() (*sim.Checkpoint, error) {
 		return sim.WarmCheckpoint(runCfg, specs, scheme.NewPolicy(), warmCycle)
 	})

@@ -34,14 +34,27 @@ type UMON struct {
 	sampleSets int
 	totalSets  uint64
 
-	// tags[set][way] in LRU order: position 0 is MRU.
-	tags  [][]umonTag
+	// Shadow tags, two words per tag (addr, valid) in a flat set-major slab:
+	// words[2*(set*ways+pos)] holds the address at LRU stack position pos of
+	// the set (position 0 is MRU), the adjacent word its valid flag. The flat
+	// layout lets the slab live in a per-application arena, so cloning a
+	// monitor is one copy, and keeps each set's LRU stack contiguous.
+	words []uint64
 	state UMONSnapshot
 }
 
-type umonTag struct {
-	valid bool
-	addr  uint64
+// UMONWords returns the tag storage a monitor with the given geometry needs,
+// in 8-byte words, for use with NewUMONIn. It applies the same sample-set
+// clamp as NewUMON.
+func UMONWords(modelLines uint64, ways, sampleSets int) int {
+	totalSets := modelLines / uint64(ways)
+	if totalSets == 0 {
+		totalSets = 1
+	}
+	if uint64(sampleSets) > totalSets {
+		sampleSets = int(totalSets)
+	}
+	return 2 * ways * sampleSets
 }
 
 // UMONSnapshot captures the monitor's counters at a point in time, so that
@@ -70,6 +83,13 @@ func (s UMONSnapshot) clone() UMONSnapshot {
 // NewUMON builds a utility monitor modelling a cache of modelLines lines with
 // the given associativity, keeping tags for sampleSets sets.
 func NewUMON(modelLines uint64, ways, sampleSets int) (*UMON, error) {
+	return NewUMONIn(modelLines, ways, sampleSets, nil)
+}
+
+// NewUMONIn is NewUMON over caller-provided zeroed tag storage of exactly
+// UMONWords(modelLines, ways, sampleSets) words (nil to self-allocate), so
+// the shadow directory can live in a per-application arena slab.
+func NewUMONIn(modelLines uint64, ways, sampleSets int, words []uint64) (*UMON, error) {
 	if modelLines == 0 || ways <= 0 || sampleSets <= 0 {
 		return nil, fmt.Errorf("monitor: UMON needs positive modelLines, ways and sampleSets")
 	}
@@ -80,15 +100,17 @@ func NewUMON(modelLines uint64, ways, sampleSets int) (*UMON, error) {
 	if uint64(sampleSets) > totalSets {
 		sampleSets = int(totalSets)
 	}
+	if words == nil {
+		words = make([]uint64, 2*ways*sampleSets)
+	} else if len(words) != 2*ways*sampleSets {
+		return nil, fmt.Errorf("monitor: UMON given %d words of tag storage, needs %d", len(words), 2*ways*sampleSets)
+	}
 	u := &UMON{
 		modelLines: modelLines,
 		ways:       ways,
 		sampleSets: sampleSets,
 		totalSets:  totalSets,
-		tags:       make([][]umonTag, sampleSets),
-	}
-	for i := range u.tags {
-		u.tags[i] = make([]umonTag, ways)
+		words:      words,
 	}
 	u.state.HitsAtWay = make([]uint64, ways)
 	return u, nil
@@ -125,22 +147,23 @@ func (u *UMON) Access(addr uint64) {
 		return
 	}
 	u.state.SampledAccesses++
-	tags := u.tags[set]
+	stride := 2 * u.ways
+	base := set * uint64(stride)
+	tags := u.words[base : base+uint64(stride)]
 	// Search the LRU stack.
 	for pos := 0; pos < u.ways; pos++ {
-		if tags[pos].valid && tags[pos].addr == addr {
+		if tags[2*pos+1] != 0 && tags[2*pos] == addr {
 			u.state.HitsAtWay[pos]++
-			// Move to MRU.
-			hit := tags[pos]
-			copy(tags[1:pos+1], tags[0:pos])
-			tags[0] = hit
+			// Move to MRU: shift positions [0,pos) down one pair.
+			copy(tags[2:2*pos+2], tags[0:2*pos])
+			tags[0], tags[1] = addr, 1
 			return
 		}
 	}
 	// Miss: insert at MRU, evicting the LRU tag.
 	u.state.SampledMisses++
-	copy(tags[1:], tags[0:u.ways-1])
-	tags[0] = umonTag{valid: true, addr: addr}
+	copy(tags[2:], tags[0:stride-2])
+	tags[0], tags[1] = addr, 1
 }
 
 // Snapshot returns a copy of the monitor's counters.
@@ -149,14 +172,28 @@ func (u *UMON) Snapshot() UMONSnapshot { return u.state.clone() }
 // Clone returns a deep copy of the monitor: shadow tags and counters are
 // duplicated so accesses presented to either copy cannot affect the other.
 func (u *UMON) Clone() *UMON {
+	return u.CloneIn(nil)
+}
+
+// CloneIn is Clone with caller-provided tag storage of the same size (nil to
+// self-allocate); forked simulations pass their arena region here.
+func (u *UMON) CloneIn(words []uint64) *UMON {
 	c := *u
-	c.tags = make([][]umonTag, len(u.tags))
-	for i, set := range u.tags {
-		c.tags[i] = make([]umonTag, len(set))
-		copy(c.tags[i], set)
+	if words == nil {
+		c.words = append([]uint64(nil), u.words...)
+	} else {
+		copy(words, u.words)
+		c.words = words
 	}
 	c.state = u.state.clone()
 	return &c
+}
+
+// Reset returns the monitor to its freshly constructed state in place: tags
+// flushed, counters cleared, no new allocations.
+func (u *UMON) Reset() {
+	clear(u.words)
+	u.ResetCounters()
 }
 
 // ResetCounters clears the counters but keeps the shadow tags warm (matching

@@ -79,6 +79,11 @@ type Machine struct {
 	InclusiveL2 bool `json:"inclusive_l2,omitempty"`
 	// Flat disables both private levels (the pre-hierarchy machine).
 	Flat bool `json:"flat,omitempty"`
+	// IntraParallel bounds the worker goroutines one simulation may use to
+	// speculatively pre-step independent batch apps between scheduler quanta
+	// (0 = auto-size to the host, 1 = strictly serial). Purely a wall-clock
+	// knob: results are bit-identical at every setting.
+	IntraParallel int `json:"intra_parallel,omitempty"`
 }
 
 // App is one application entry of the mix. Exactly one of LC and Batch names
@@ -256,6 +261,7 @@ func (s Spec) BaseConfig() sim.Config {
 		}
 		cfg.Hierarchy = sim.HierarchyForKB(l1, l2, s.Machine.InclusiveL2)
 	}
+	cfg.IntraParallel = s.Machine.IntraParallel
 	return cfg
 }
 
@@ -418,6 +424,9 @@ func (s Spec) Validate() error {
 	}
 	if s.Machine.Flat && (s.Machine.L1KB != 0 || s.Machine.L2KB != 0 || s.Machine.InclusiveL2) {
 		return fmt.Errorf("scenario: machine.flat disables the private levels; drop l1_kb/l2_kb/inclusive_l2")
+	}
+	if s.Machine.IntraParallel < 0 {
+		return fmt.Errorf("scenario: machine.intra_parallel must be >= 0 (0 = auto), got %d", s.Machine.IntraParallel)
 	}
 	if len(s.Apps) == 0 {
 		return fmt.Errorf("scenario: apps is required (at least one entry)")

@@ -308,7 +308,7 @@ func FuzzCheckpointRoundTrip(f *testing.F) {
 		}
 
 		// Fixed point: re-checkpoint a fork without running it further.
-		fork, err := cp.src.fork()
+		fork, err := cp.fork()
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -63,6 +63,15 @@ type Config struct {
 	// exact smallest-clock-first interleaving. Runs are deterministic for any
 	// fixed value (see DESIGN.md §2).
 	StepQuantumCycles uint64
+	// IntraParallel bounds the worker goroutines one run may use to
+	// speculatively pre-step independent batch applications between scheduler
+	// quanta (DESIGN.md §10). 0 (the default) sizes the engine to
+	// runtime.GOMAXPROCS(0); 1 steps strictly serially. Results are
+	// bit-identical at every setting — the engine only executes accesses the
+	// serial schedule provably performs and commits them in the serial order —
+	// so this is purely a wall-clock knob, excluded from warm-pool identities
+	// (see Config.PoolIdentity).
+	IntraParallel int
 }
 
 // LinesFor2MB is the scaled line count standing in for a 2 MB LLC bank.
@@ -152,7 +161,19 @@ func (c Config) Validate() error {
 	if c.LatencyWindowCycles > 0 && c.LatencyWindowCycles < 1024 {
 		return fmt.Errorf("sim: latency window must be 0 (off) or at least 1024 cycles, got %d", c.LatencyWindowCycles)
 	}
+	if c.IntraParallel < 0 {
+		return fmt.Errorf("sim: IntraParallel must be >= 0 (0 = auto), got %d", c.IntraParallel)
+	}
 	return nil
+}
+
+// PoolIdentity returns the configuration with every pure wall-clock knob
+// cleared — currently just IntraParallel — the form memoization keys must
+// format: two runs differing only in such knobs produce bit-identical results
+// and have to share a warm-pool entry.
+func (c Config) PoolIdentity() Config {
+	c.IntraParallel = 0
+	return c
 }
 
 // AppSpec describes one application slot in a mix. Exactly one of LC and Batch

@@ -68,9 +68,11 @@ func alignLines(lines uint64, llc cache.ArrayConfig) uint64 {
 // full isolated machine configuration (every Config field is a plain value,
 // so %#v captures it exactly), the complete application profile, and the
 // run parameters. Two isolation runs with equal keys are the same
-// deterministic computation.
+// deterministic computation. Wall-clock-only knobs are cleared first
+// (Config.PoolIdentity) so runs that differ only in parallelism share an
+// entry.
 func isolationKey(kind string, iso Config, profile workload.LCProfile, args ...any) string {
-	return fmt.Sprintf("%s|%#v|%#v|%v", kind, iso, profile, args)
+	return fmt.Sprintf("%s|%#v|%#v|%v", kind, iso.PoolIdentity(), profile, args)
 }
 
 // CalibrateService measures an application's mean request service time when it
@@ -230,7 +232,7 @@ func MeasureBatchBaselineIPCPooled(pool *WarmPool, cfg Config, profile workload.
 		ROIInstructions: roiInstructions,
 		Seed:            workload.SplitSeed(cfg.Seed, 0xBEEF),
 	}
-	res, err := pool.Result(fmt.Sprintf("batch|%#v|%#v|%d", iso, profile, roiInstructions), func() (Result, error) {
+	res, err := pool.Result(fmt.Sprintf("batch|%#v|%#v|%d", iso.PoolIdentity(), profile, roiInstructions), func() (Result, error) {
 		return RunMix(iso, []AppSpec{spec}, policy.NewLRU())
 	})
 	if err != nil {

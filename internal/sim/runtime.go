@@ -21,6 +21,13 @@ type appRuntime struct {
 	batchApp *workload.BatchApp
 	stream   *workload.Stream
 
+	// slab is the app's arena: one contiguous word block holding the UMON
+	// shadow tags (the first umonWords words) followed by the private L1/L2
+	// level storage, so cloning the app's cache-shaped state is a single
+	// allocation instead of one per component.
+	slab      []uint64
+	umonWords int
+
 	// Timing parameters.
 	apki           float64
 	baseCPI        float64
@@ -90,6 +97,11 @@ type appRuntime struct {
 
 	// done marks an app that has no further work to simulate.
 	done bool
+
+	// sp is the app's speculative stepping scratch (speculate.go), built
+	// lazily on its first window; nil for latency-critical apps, flat
+	// configurations and serial runs. Never cloned — forks build their own.
+	sp *speculation
 }
 
 // newAppRuntime builds the runtime state for one application slot.
@@ -103,7 +115,15 @@ func newAppRuntime(idx int, spec AppSpec, cfg Config) (*appRuntime, error) {
 	}
 	a := &appRuntime{idx: idx, spec: spec}
 	modelLines := cfg.LLC.Lines
-	umon, err := monitor.NewUMON(modelLines, cfg.UMONWays, cfg.UMONSampleSets)
+	uw := monitor.UMONWords(modelLines, cfg.UMONWays, cfg.UMONSampleSets)
+	hw := cache.HierarchyWords(cfg.Hierarchy)
+	var tagWords []uint64
+	if uw > 0 {
+		a.slab = make([]uint64, uw+hw)
+		a.umonWords = uw
+		tagWords = a.slab[:uw]
+	}
+	umon, err := monitor.NewUMONIn(modelLines, cfg.UMONWays, cfg.UMONSampleSets, tagWords)
 	if err != nil {
 		return nil, err
 	}
@@ -184,7 +204,11 @@ func (a *appRuntime) attachHierarchy(cfg cache.HierarchyConfig, llc cache.Cache)
 	if !cfg.Enabled() {
 		return nil
 	}
-	h, err := cache.NewHierarchy(cfg, llc)
+	var words []uint64
+	if a.slab != nil && len(a.slab)-a.umonWords == cache.HierarchyWords(cfg) {
+		words = a.slab[a.umonWords:]
+	}
+	h, err := cache.NewHierarchyIn(cfg, llc, words)
 	if err != nil {
 		return err
 	}
@@ -230,6 +254,9 @@ func (a *appRuntime) enqueueArrivals(now uint64, coalesce uint64) {
 // ArrivalProcess).
 func (a *appRuntime) clone(llc cache.Cache) (*appRuntime, error) {
 	c := *a
+	// The speculation scratch is bound to the parent's run; the clone grows
+	// its own lazily.
+	c.sp = nil
 	if a.lcApp != nil {
 		c.lcApp = a.lcApp.Clone()
 		c.stream = c.lcApp.Stream()
@@ -238,10 +265,20 @@ func (a *appRuntime) clone(llc cache.Cache) (*appRuntime, error) {
 		c.batchApp = a.batchApp.Clone()
 		c.stream = c.batchApp.Stream()
 	}
-	if a.hier != nil {
-		c.hier = a.hier.CloneWithLLC(llc)
+	// One allocation covers the fork's UMON tags and private levels; CloneIn /
+	// CloneWithLLCIn fill the carved regions from the parent's slab.
+	var uWords, hWords []uint64
+	if a.slab != nil {
+		c.slab = make([]uint64, len(a.slab))
+		uWords = c.slab[:a.umonWords]
+		if len(c.slab) > a.umonWords {
+			hWords = c.slab[a.umonWords:]
+		}
 	}
-	c.umon = a.umon.Clone()
+	if a.hier != nil {
+		c.hier = a.hier.CloneWithLLCIn(llc, hWords)
+	}
+	c.umon = a.umon.CloneIn(uWords)
 	c.mlp = a.mlp.Clone()
 	if a.reuse != nil {
 		c.reuse = a.reuse.Clone()

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/monitor"
+	"repro/internal/parallel"
 	"repro/internal/policy"
 )
 
@@ -36,6 +37,12 @@ type Simulator struct {
 	targetSamples    []float64
 	targetSampleN    uint64
 	measureArmed     bool
+
+	// Speculative stepping engine state (speculate.go): the worker pool, or
+	// specOff once the run is known to be ineligible. Never copied by forks —
+	// each simulator sizes its own engine lazily on first runLoop entry.
+	specPool *parallel.Pool
+	specOff  bool
 }
 
 // New builds a simulator for the given configuration, application slots and
@@ -286,25 +293,37 @@ func (s *Simulator) ColdRestart(pol policy.Policy) error {
 	if s.running != nil {
 		return fmt.Errorf("sim: cold restart is only legal at a paused scheduler boundary")
 	}
-	llc, err := cache.New(s.cfg.LLC)
-	if err != nil {
-		return err
-	}
-	s.llc = llc
-	s.policy = pol
-	for _, a := range s.apps {
-		umon, err := monitor.NewUMON(s.cfg.LLC.Lines, s.cfg.UMONWays, s.cfg.UMONSampleSets)
+	// The built-in cache arrays, the hierarchy levels and all monitors reset
+	// in place — their storage lives in arenas and per-app slabs, so a restart
+	// reuses it instead of reallocating LLC-sized structures. A custom cache
+	// without Reset falls back to a fresh build (and hierarchy rebind).
+	if r, ok := s.llc.(interface{ Reset() }); ok {
+		r.Reset()
+	} else {
+		llc, err := cache.New(s.cfg.LLC)
 		if err != nil {
 			return err
 		}
-		a.umon = umon
-		a.mlp = monitor.NewMLPProfiler(0.999)
-		if a.reuse != nil {
-			a.reuse = monitor.NewReuseProfiler(monitor.DefaultReuseMaxAge)
+		s.llc = llc
+		for _, a := range s.apps {
+			a.hier = nil
+			if a.slab != nil {
+				clear(a.slab[a.umonWords:])
+			}
+			if err := a.attachHierarchy(s.cfg.Hierarchy, llc); err != nil {
+				return err
+			}
 		}
-		a.hier = nil
-		if err := a.attachHierarchy(s.cfg.Hierarchy, llc); err != nil {
-			return err
+	}
+	s.policy = pol
+	for _, a := range s.apps {
+		if a.hier != nil {
+			a.hier.Reset()
+		}
+		a.umon.Reset()
+		a.mlp.Reset()
+		if a.reuse != nil {
+			a.reuse.Reset()
 		}
 		a.umonAtReconfig = monitor.UMONSnapshot{}
 		a.countersAtReconfig = a.counters
@@ -320,6 +339,8 @@ func (s *Simulator) ColdRestart(pol policy.Policy) error {
 // stop.
 func (s *Simulator) runLoop(stop uint64) error {
 	s.startSchedule()
+	s.specSetup()
+	defer s.drainSpecs()
 	quantum := s.cfg.StepQuantumCycles
 	maxCycles := s.cfg.MaxCycles
 	for s.pending() {
@@ -344,6 +365,10 @@ func (s *Simulator) runLoop(stop uint64) error {
 			s.running = nil
 			return fmt.Errorf("sim: exceeded MaxCycles=%d; configuration is likely unstable (offered load too high)", maxCycles)
 		}
+		// Publish a's speculation window, if one ran while the other apps had
+		// the machine: the pre-stepped private prefix lands wholesale and the
+		// deferred shared-LLC accesses replay here, in serial order.
+		s.commitSpec(a)
 		// The batch horizon: a runs while it would still win the heap within
 		// the quantum's slack.
 		horizon, horizonIdx := ^uint64(0), -1
@@ -380,6 +405,9 @@ func (s *Simulator) runLoop(stop uint64) error {
 			}
 		} else {
 			s.pushApp(a)
+			// a is now at rest until it next wins the heap: overlap its next
+			// window's private prefix with the other apps' turns.
+			s.launchSpec(a)
 		}
 	}
 	return nil

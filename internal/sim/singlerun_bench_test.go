@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// largeRunSetup builds the big-LLC four-app mix the single-run speed work is
+// measured against: two latency-critical apps at realistic request factors
+// plus two long batch apps on a 16384-line LLC. The same mix backs both
+// benchmarks so the checkpoint numbers are taken from a warmed large state,
+// not a toy one.
+func largeRunSetup(tb testing.TB) (Config, []AppSpec) {
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	cfg.LLC = cache.DefaultZ452(16*LinesFor2MB, 4) // 16384 lines, 4-way z-cache
+	lc1, err := workload.LCByName("masstree")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	lc2, err := workload.LCByName("xapian")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	b1, err := workload.BatchByName("mcf")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	b2, err := workload.BatchByName("omnetpp")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	specs := []AppSpec{
+		{LC: &lc1, Load: 0.3, MeanInterarrival: 60_000, DeadlineCycles: 45_000, RequestFactor: 0.4},
+		{LC: &lc2, Load: 0.3, MeanInterarrival: 70_000, DeadlineCycles: 50_000, RequestFactor: 0.4},
+		{Batch: &b1, ROIInstructions: 3_000_000},
+		{Batch: &b2, ROIInstructions: 3_000_000},
+	}
+	return cfg, specs
+}
+
+// BenchmarkSingleLargeRun measures one full end-to-end simulation of the
+// large mix. The serial variant pins the engine off (IntraParallel=1); the
+// parallel4 variant forces 4 workers so the speculative stepping path is
+// exercised even on boxes where auto would resolve to fewer. On a single
+// hardware thread parallel4 degenerates to roughly serial speed by design:
+// speculation windows are launched but the scheduler thread keeps priority.
+func BenchmarkSingleLargeRun(b *testing.B) {
+	for _, bc := range []struct {
+		name          string
+		intraParallel int
+	}{
+		{"serial", 1},
+		{"parallel4", 4},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg, specs := largeRunSetup(b)
+			cfg.IntraParallel = bc.intraParallel
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := RunMix(cfg, specs, core.NewUbikWithSlack(0.05)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCheckpointClone measures forking a warmed large-run state. The
+// naive variant deep-copies the LLC through Clone, the way Checkpoint worked
+// before delta checkpoints; the delta variant is the shipping Checkpoint
+// path, which seals the arena-backed state and copies only dirty chunks.
+func BenchmarkCheckpointClone(b *testing.B) {
+	warmed := func(b *testing.B) *Simulator {
+		cfg, specs := largeRunSetup(b)
+		s, err := New(cfg, specs, core.NewUbikWithSlack(0.05))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.RunUntil(2_000_000); err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	b.Run("naive", func(b *testing.B) {
+		s := warmed(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.forkWithLLC(s.llc.Clone()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("delta", func(b *testing.B) {
+		s := warmed(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

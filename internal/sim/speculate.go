@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/parallel"
+	"repro/internal/workload"
+)
+
+// This file implements intra-run parallelism: between scheduler quanta the
+// simulator speculatively pre-steps batch applications on worker goroutines,
+// overlapping their private-cache walks and address draws with the app the
+// scheduler is stepping serially. The engine is restricted to work the serial
+// schedule provably performs — a speculation window runs strictly below the
+// app's next scheduling horizon, reconfiguration boundary and region-of-
+// interest crossing, touches only private scratch state, and is committed (or
+// discarded) on the scheduler goroutine in the exact serial order — so
+// results are bit-identical at every Config.IntraParallel setting. See
+// DESIGN.md §10 for the full determinism argument.
+//
+// Latency-critical applications are never speculated: their policy hooks
+// (OnLCCheck every LCCheckAccessInterval accesses, OnActive/OnIdle/
+// OnRequestComplete) read and resize the shared machine mid-window, which no
+// private scratch can reproduce. Flat (hierarchy-less) configurations are
+// likewise excluded — every access reaches the shared LLC immediately, so
+// there is no private prefix to pre-compute.
+
+// maxSpecPending bounds how many LLC-bound accesses one speculation window
+// may defer for commit-time replay. The conservative clock bound (every
+// pending access charged the worst-case level cost) usually stops the window
+// well before this; the cap keeps scratch small and the replay burst short.
+const maxSpecPending = 512
+
+// maxSpecSteps bounds the total accesses one window may pre-step, a backstop
+// against degenerate core models whose per-level cycle costs round to zero
+// (the serial loop would bound such a window by cycles, which never advance).
+const maxSpecSteps = 1 << 16
+
+// speculation is one batch application's speculative stepping state: a
+// persistent private scratch (re-primed from the live app before each window)
+// plus the window bounds captured at launch. The worker goroutine touches
+// only this struct; the live appRuntime, the shared LLC and the monitors are
+// read and written exclusively by the scheduler goroutine.
+type speculation struct {
+	// Scratch state, allocated once per app and reused across windows.
+	stream   *workload.Stream
+	hier     *cache.Hierarchy
+	clock    uint64
+	counters cpu.PerfCounters
+	// pending holds, in draw order, the addresses that missed the scratch
+	// private levels and therefore need the shared LLC; their cycle costs and
+	// monitor updates are resolved at commit, against the real cache.
+	pending []uint64
+
+	// Window bounds captured at launch (see launchSpec).
+	horizon      uint64
+	horizonIdx   int
+	stopReconfig uint64
+	maxCycles    uint64
+	roiLimit     uint64
+
+	launched bool
+	wg       sync.WaitGroup
+}
+
+// specSetup resolves the engine's worker budget once per runLoop entry. The
+// engine needs at least two applications (a lone app's turn starts as soon as
+// its predecessor's ends — there is nothing to overlap), a private hierarchy,
+// and an effective parallelism above one; one worker slot is reserved for the
+// scheduler goroutine itself.
+func (s *Simulator) specSetup() {
+	if s.specPool != nil || s.specOff {
+		return
+	}
+	w := s.cfg.IntraParallel
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w <= 1 || len(s.apps) < 2 || !s.cfg.Hierarchy.Enabled() {
+		s.specOff = true
+		return
+	}
+	s.specPool = parallel.NewPool(w - 1)
+}
+
+// launchSpec starts a speculation window for b if the engine is on and b is
+// eligible. Called on the scheduler goroutine immediately after b is pushed
+// back on the heap: b is now at rest until it next wins the heap, so a worker
+// may pre-step it against a horizon computed from the other apps' current
+// positions. Every app's (clock, idx) key only moves forward and apps only
+// leave the heap, so the lexicographic minimum over the others can only grow
+// between now and b's next pop — the launch-time horizon is a lower bound on
+// the horizon the serial loop will compute then, and staying below it is
+// provably work the serial schedule performs.
+func (s *Simulator) launchSpec(b *appRuntime) {
+	if s.specPool == nil || b.isLC() || b.hier == nil || b.done {
+		return
+	}
+	horizon, horizonIdx := uint64(0), 0
+	found := false
+	for _, o := range s.sched {
+		if o == b {
+			continue
+		}
+		if !found || o.clock < horizon || (o.clock == horizon && o.idx < horizonIdx) {
+			horizon, horizonIdx = o.clock, o.idx
+			found = true
+		}
+	}
+	if !found {
+		return
+	}
+	sp := b.sp
+	if sp == nil {
+		// First window for this app: build the persistent scratch. The scratch
+		// hierarchy gets its own storage and never touches its LLC binding
+		// (workers call AccessPrivate only).
+		h, err := cache.NewHierarchy(s.cfg.Hierarchy, s.llc)
+		if err != nil {
+			return
+		}
+		sp = &speculation{
+			stream:  b.stream.Clone(),
+			hier:    h,
+			pending: make([]uint64, 0, maxSpecPending),
+		}
+		b.sp = sp
+	}
+	sp.stream.CopyStateFrom(b.stream)
+	sp.hier.CopyPrivateStateFrom(b.hier)
+	sp.clock = b.clock
+	sp.counters = b.counters
+	sp.pending = sp.pending[:0]
+	sp.horizon = horizon + s.cfg.StepQuantumCycles
+	sp.horizonIdx = horizonIdx
+	// s.nextReconfig is monotonically increasing, so the launch-time boundary
+	// is a lower bound on the boundary in force at b's next pop.
+	sp.stopReconfig = s.nextReconfig
+	sp.maxCycles = s.cfg.MaxCycles
+	sp.roiLimit = 0
+	if !b.roiReached {
+		sp.roiLimit = b.roiInstructions
+	}
+	sp.wg.Add(1)
+	if !s.specPool.TrySubmit(func() {
+		defer sp.wg.Done()
+		sp.run(b)
+	}) {
+		// Pool saturated: skip this window. Purely a throughput decision —
+		// b will simply be stepped serially, with identical results.
+		sp.wg.Done()
+		return
+	}
+	sp.launched = true
+}
+
+// run is the worker body: pre-step b's address draws and private-cache walks
+// into the scratch, stopping strictly before anything the serial inner loop
+// would observe differently. It reads only b's immutable per-app constants
+// (idx, levelCycles, instrPerAccess); all mutable state lives in sp.
+func (sp *speculation) run(b *appRuntime) {
+	maxLLCCyc := b.levelCycles[cache.LevelLLC]
+	if m := b.levelCycles[cache.LevelMemory]; m > maxLLCCyc {
+		maxLLCCyc = m
+	}
+	for steps := 0; steps < maxSpecSteps; steps++ {
+		if len(sp.pending) >= maxSpecPending {
+			return
+		}
+		// hi bounds the app's true clock at this point in the access sequence:
+		// the scratch clock plus every deferred access charged its worst
+		// possible cost. The serial inner loop re-checks its break conditions
+		// before each access, so each guard below must hold for hi — then it
+		// holds for the true clock, and the serial loop performs this access
+		// too.
+		hi := sp.clock + uint64(len(sp.pending))*maxLLCCyc
+		if hi > sp.horizon || (hi == sp.horizon && b.idx > sp.horizonIdx) {
+			return
+		}
+		if hi >= sp.stopReconfig {
+			return
+		}
+		if sp.maxCycles > 0 && hi > sp.maxCycles {
+			return
+		}
+		// Stop strictly before the region-of-interest crossing: the serial
+		// loop performs the crossing access itself and does its termination
+		// bookkeeping (roiReached, batchLeft) right there.
+		if sp.roiLimit > 0 &&
+			sp.counters.Instructions+uint64(len(sp.pending)+1)*b.instrPerAccess >= sp.roiLimit {
+			return
+		}
+		addr := sp.stream.Next()
+		if level, served := sp.hier.AccessPrivate(addr); served {
+			cycles := b.levelCycles[level]
+			sp.counters.AddAtLevel(b.instrPerAccess, cycles, level)
+			sp.clock += cycles
+		} else {
+			sp.pending = append(sp.pending, addr)
+		}
+	}
+}
+
+// commitSpec publishes b's completed speculation window. Called on the
+// scheduler goroutine at b's pop, after the reconfiguration boundary and
+// MaxCycles checks (which, as in a serial run, observe b's pre-window state)
+// and before the inner stepping loop. The private prefix is copied in
+// wholesale; the deferred LLC-bound accesses are replayed in draw order
+// against the real shared cache and monitors, reproducing exactly what the
+// serial loop would have done access by access.
+func (s *Simulator) commitSpec(b *appRuntime) {
+	sp := b.sp
+	if sp == nil || !sp.launched {
+		return
+	}
+	sp.wg.Wait()
+	sp.launched = false
+	b.stream.CopyStateFrom(sp.stream)
+	b.hier.CopyPrivateStateFrom(sp.hier)
+	b.clock = sp.clock
+	b.counters = sp.counters
+	for _, addr := range sp.pending {
+		res := b.hier.AccessShared(addr, partID(b.idx), 0)
+		cycles := b.levelCycles[res.Level]
+		b.counters.AddAtLevel(b.instrPerAccess, cycles, res.Level)
+		b.clock += cycles
+		b.umon.Access(addr)
+		if res.Level == cache.LevelMemory {
+			b.mlp.RecordMiss(b.missPenalty)
+		}
+		// Batch apps carry no reuse profiler (it is LC-only), so the replay
+		// ends here — mirroring doHierAccess's nil check.
+	}
+}
+
+// drainSpecs waits out and discards every in-flight speculation window.
+// Deferred on every runLoop exit (pause, completion, error) so no worker
+// outlives the loop: checkpointing, cold restarts and later runs may then
+// freely mutate state the scratches were primed from. Discarding is always
+// correct — a launch reads but never writes committed state, so an
+// uncommitted window simply never happened.
+func (s *Simulator) drainSpecs() {
+	for _, a := range s.apps {
+		if sp := a.sp; sp != nil && sp.launched {
+			sp.wg.Wait()
+			sp.launched = false
+		}
+	}
+}

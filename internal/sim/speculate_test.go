@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/workload"
+)
+
+// specMixSpecs returns a batch-heavy hierarchy mix that keeps several
+// speculation-eligible apps in flight at once.
+func specMixSpecs(t testing.TB) []AppSpec {
+	t.Helper()
+	lc, err := workload.LCByName("masstree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcf, err := workload.BatchByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	omnetpp, err := workload.BatchByName("omnetpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []AppSpec{
+		{LC: &lc, Load: 0.3, MeanInterarrival: 60_000, DeadlineCycles: 45_000, RequestFactor: 0.05},
+		{Batch: &mcf, ROIInstructions: 800_000},
+		{Batch: &omnetpp, ROIInstructions: 800_000},
+		{Batch: &mcf, ROIInstructions: 600_000, Seed: 97},
+	}
+}
+
+// TestIntraParallelEquivalence locks the engine's core contract on a mix with
+// several concurrently speculating batch apps: serial and 4-worker runs are
+// bit-identical, and the 4-worker run actually exercised the engine (it built
+// speculation scratches for batch apps) rather than passing vacuously because
+// the engine gated itself off.
+func TestIntraParallelEquivalence(t *testing.T) {
+	run := func(ip int) (Result, *Simulator) {
+		cfg := DefaultConfig()
+		cfg.Seed = 7
+		cfg.IntraParallel = ip
+		s, err := New(cfg, specMixSpecs(t), core.NewUbikWithSlack(0.05))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, s
+	}
+	serial, sSerial := run(1)
+	par, sPar := run(4)
+	if got, want := resultDigest(par), resultDigest(serial); got != want {
+		t.Fatalf("IntraParallel=4 digest %#x differs from serial %#x", got, want)
+	}
+	for _, a := range sSerial.apps {
+		if a.sp != nil {
+			t.Errorf("serial run built a speculation scratch for app %d", a.idx)
+		}
+	}
+	launched := 0
+	for _, a := range sPar.apps {
+		if a.isLC() {
+			if a.sp != nil {
+				t.Errorf("latency-critical app %d has a speculation scratch", a.idx)
+			}
+			continue
+		}
+		if a.sp != nil {
+			launched++
+		}
+	}
+	if launched == 0 {
+		t.Fatal("IntraParallel=4 run never launched a speculation window; the equivalence check was vacuous")
+	}
+}
+
+// TestIntraParallelPauseResume locks the engine against the checkpoint layer:
+// pausing mid-run discards in-flight windows (they are uncommitted, so
+// nothing of them may be observable), and a paused-forked-resumed run at
+// IntraParallel=4 retraces the serial uninterrupted trajectory bit for bit.
+func TestIntraParallelPauseResume(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	cfg.IntraParallel = 4
+	straight, err := RunMix(cfg, specMixSpecs(t), core.NewUbikWithSlack(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(cfg, specMixSpecs(t), core.NewUbikWithSlack(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntil(400_000); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	forked, err := RunFromCheckpoint(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := resultDigest(forked), resultDigest(straight); got != want {
+		t.Errorf("pause/checkpoint/fork at IntraParallel=4 digest %#x, want uninterrupted %#x", got, want)
+	}
+	resumed, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := resultDigest(resumed), resultDigest(straight); got != want {
+		t.Errorf("pause/resume at IntraParallel=4 digest %#x, want uninterrupted %#x", got, want)
+	}
+}
+
+// TestIntraParallelValidate pins the config contract: negative is rejected,
+// 0 (auto) and explicit worker counts pass.
+func TestIntraParallelValidate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IntraParallel = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("IntraParallel=-1 should fail validation")
+	}
+	for _, ip := range []int{0, 1, 8} {
+		cfg.IntraParallel = ip
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("IntraParallel=%d should validate, got %v", ip, err)
+		}
+	}
+}
+
+// TestPoolIdentityDropsWallClockKnobs pins the memoization contract: two
+// configurations differing only in IntraParallel share one pool identity.
+func TestPoolIdentityDropsWallClockKnobs(t *testing.T) {
+	a := DefaultConfig()
+	b := DefaultConfig()
+	b.IntraParallel = 4
+	if a.PoolIdentity() != b.PoolIdentity() {
+		t.Error("PoolIdentity should be identical across IntraParallel settings")
+	}
+	if a == b {
+		t.Error("test needs the raw configs to differ")
+	}
+}
+
+// TestColdRestartIntraParallel locks the engine against ColdRestart: windows
+// in flight at the pause are discarded before the restart wipes the caches,
+// and the restarted run stays deterministic across parallelism settings.
+func TestColdRestartIntraParallel(t *testing.T) {
+	run := func(ip int) Result {
+		cfg := DefaultConfig()
+		cfg.Seed = 7
+		cfg.IntraParallel = ip
+		s, err := New(cfg, specMixSpecs(t), core.NewUbikWithSlack(0.05))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RunUntil(400_000); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.ColdRestart(policy.NewLRU()); err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if got, want := resultDigest(run(4)), resultDigest(run(1)); got != want {
+		t.Errorf("cold-restarted run digest differs: IntraParallel=4 %#x vs serial %#x", got, want)
+	}
+}
