@@ -18,7 +18,11 @@
 // A variant fails the gate when current > baseline*tolerance or current >
 // ceiling_ns (when set), or when it is missing from the current file
 // entirely (a renamed or deleted benchmark must update the baseline, not
-// silently escape the gate). Baselines are hardware-specific: refresh one on
+// silently escape the gate). The reverse escape — a measured variant with no
+// baseline entry — is reported as a "warn:" line so new benchmarks are
+// visible the moment they appear in CI output, and -strict turns those
+// warnings into failures (the workflow runs strict, so adding a benchmark
+// forces adding its gate). Baselines are hardware-specific: refresh one on
 // the reference machine with -update, which rewrites the baseline's ns_per_op
 // values from the current file while keeping tolerances and ceilings.
 package main
@@ -27,7 +31,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 )
 
 type measurement struct {
@@ -55,12 +61,13 @@ func main() {
 	}
 }
 
-func run(args []string, out *os.File) error {
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
 	currentPath := fs.String("current", "", "freshly measured benchmark JSON (array of {variant, iterations, ns_per_op})")
 	baselinePath := fs.String("baseline", "", "committed baseline JSON to gate against")
 	tolerance := fs.Float64("tolerance", 1.10, "default allowed ratio of current to baseline ns/op before failing")
 	update := fs.Bool("update", false, "rewrite the baseline's ns_per_op values from the current file instead of gating")
+	strict := fs.Bool("strict", false, "fail when a measured variant has no baseline entry (instead of only warning)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -85,11 +92,35 @@ func run(args []string, out *os.File) error {
 	}
 
 	failures := gate(base, current, *tolerance, out)
+	ungated := ungatedVariants(base, current)
+	for _, v := range ungated {
+		fmt.Fprintf(out, "warn %-28s measured but not gated (no baseline entry)\n", v)
+	}
+	if *strict && len(ungated) > 0 {
+		return fmt.Errorf("%d ungated variant(s) in strict mode: add baseline entries (or run -update after adding them)", len(ungated))
+	}
 	if len(failures) > 0 {
 		return fmt.Errorf("%d variant(s) failed the gate", len(failures))
 	}
 	fmt.Fprintf(out, "benchgate: all %d gated variant(s) within tolerance\n", len(base.Entries))
 	return nil
+}
+
+// ungatedVariants returns the measured variants with no baseline entry,
+// sorted for stable output.
+func ungatedVariants(base baseline, current map[string]measurement) []string {
+	gated := make(map[string]bool, len(base.Entries))
+	for _, e := range base.Entries {
+		gated[e.Variant] = true
+	}
+	var out []string
+	for v := range current {
+		if !gated[v] {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 func loadCurrent(path string) (map[string]measurement, error) {
@@ -142,7 +173,7 @@ func loadBaseline(path string) (baseline, error) {
 
 // gate checks every baseline entry against the current measurements and
 // returns the variants that failed, printing a verdict line for each.
-func gate(base baseline, current map[string]measurement, defaultTol float64, out *os.File) []string {
+func gate(base baseline, current map[string]measurement, defaultTol float64, out io.Writer) []string {
 	var failures []string
 	for _, e := range base.Entries {
 		tol := e.Tolerance

@@ -113,6 +113,83 @@ func TestUpdateRewritesBaseline(t *testing.T) {
 	}
 }
 
+// ungatedCurrent measures one extra variant the baseline has never heard of.
+const ungatedCurrent = `[
+  {"variant": "SingleLargeRun/serial", "iterations": 5, "ns_per_op": 105000000},
+  {"variant": "CheckpointClone/delta", "iterations": 1000, "ns_per_op": 48000},
+  {"variant": "CacheServe/zipf", "iterations": 1000000, "ns_per_op": 250}
+]`
+
+func TestUngatedVariants(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantErr  string
+		wantWarn []string
+	}{
+		{
+			name:     "default warns but passes",
+			wantWarn: []string{"warn", "CacheServe/zipf", "not gated"},
+		},
+		{
+			name:    "strict fails",
+			args:    []string{"-strict"},
+			wantErr: "ungated",
+		},
+		{
+			name: "strict passes when everything is gated",
+			args: []string{"-strict"},
+			// Overridden below: this case uses a fully gated current file.
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			curJSON := ungatedCurrent
+			if tc.name == "strict passes when everything is gated" {
+				curJSON = `[
+  {"variant": "SingleLargeRun/serial", "iterations": 5, "ns_per_op": 105000000},
+  {"variant": "CheckpointClone/delta", "iterations": 1000, "ns_per_op": 48000}
+]`
+			}
+			cur := writeFile(t, dir, "cur.json", curJSON)
+			base := writeFile(t, dir, "base.json", goodBaseline)
+			var out strings.Builder
+			args := append([]string{"-current", cur, "-baseline", base}, tc.args...)
+			err := run(args, &out)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("run should pass: %v\n%s", err, out.String())
+				}
+			} else if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("want error containing %q, got %v", tc.wantErr, err)
+			}
+			for _, w := range tc.wantWarn {
+				if !strings.Contains(out.String(), w) {
+					t.Errorf("output missing %q:\n%s", w, out.String())
+				}
+			}
+		})
+	}
+}
+
+func TestUngatedVariantsSorted(t *testing.T) {
+	base := baseline{Entries: []baselineEntry{{Variant: "a"}}}
+	current := map[string]measurement{
+		"z": {}, "a": {}, "m": {}, "b": {},
+	}
+	got := ungatedVariants(base, current)
+	want := []string{"b", "m", "z"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	dir := t.TempDir()
 	base := writeFile(t, dir, "base.json", goodBaseline)

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"1024", 1024, false},
+		{"4k", 4 << 10, false},
+		{"64m", 64 << 20, false},
+		{"1G", 1 << 30, false},
+		{"", 0, true},
+		{"10x", 0, true},
+	}
+	for _, tc := range cases {
+		got, err := parseSize(tc.in)
+		if (err != nil) != tc.err || got != tc.want {
+			t.Errorf("parseSize(%q) = %d, %v; want %d, err=%v", tc.in, got, err, tc.want, tc.err)
+		}
+	}
+}
+
+func TestParseTenants(t *testing.T) {
+	specs, err := parseTenants("hot:zipf,cold:scan,svc:zipf:target=1m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("got %d tenants", len(specs))
+	}
+	if specs[0].cfg.Name != "hot" || specs[0].scan || specs[0].cfg.LatencyCritical {
+		t.Fatalf("hot spec = %+v", specs[0])
+	}
+	if specs[1].cfg.Name != "cold" || !specs[1].scan {
+		t.Fatalf("cold spec = %+v", specs[1])
+	}
+	if !specs[2].cfg.LatencyCritical || specs[2].cfg.TargetBytes != 1<<20 {
+		t.Fatalf("svc spec = %+v", specs[2])
+	}
+
+	for _, bad := range []string{"", "nameonly", "x:tetris", "x:zipf:frob=1", "x:zipf:target=1q"} {
+		if _, err := parseTenants(bad); err == nil {
+			t.Errorf("parseTenants(%q) accepted bad spec", bad)
+		}
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-capacity", "4m", "-ops", "40000", "-keys", "5000",
+		"-goroutines", "2", "-sample", "1", "-epoch", "5ms",
+		"-tenants", "hot:zipf,cold:scan",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"cacheserved:", "ops/sec aggregate", "hot", "cold", "quota"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunUCP(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-capacity", "2m", "-ops", "10000", "-keys", "2000",
+		"-goroutines", "1", "-sample", "1", "-policy", "ucp",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "policy UCP") {
+		t.Fatalf("output missing policy name:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	for _, args := range [][]string{
+		{"-policy", "fifo"},
+		{"-tenants", "bad"},
+		{"-capacity", "10q"},
+		{"-zipf", "0.5"},
+		{"-ops", "0"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

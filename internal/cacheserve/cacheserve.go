@@ -1,0 +1,705 @@
+// Package cacheserve is the live plant: a sharded, concurrently-accessed
+// in-memory key-value cache whose per-tenant capacity is governed online by
+// the same UMON + Ubik/UCP machinery the simulator drives. Where
+// internal/sim models an LLC shared by latency-critical and batch
+// applications, cacheserve *is* a cache shared by latency-critical and batch
+// tenants: every tenant's quota is a live allocation decided by the pure
+// policy layer (internal/policy, internal/core) from miss curves measured on
+// the real access stream (see Governor in governor.go and DESIGN.md §11).
+//
+// Layout: the key space is split over a power-of-two number of shards by key
+// hash. Each shard holds one map and one intrusive LRU list per tenant under
+// a single mutex, so every operation takes exactly one lock and per-tenant
+// eviction needs no cross-shard coordination: a tenant's byte quota is
+// divided across shards, and a Set that pushes the tenant's shard usage over
+// its shard quota evicts from that tenant's LRU tail in place.
+//
+// Expiry is lazy (a Get that finds an expired entry removes it) plus an
+// optional background sweeper. Capacity evictions and expiries are reported
+// through an eviction callback, invoked after the shard lock is released, in
+// LRU order within a capacity-eviction batch.
+package cacheserve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/monitor"
+)
+
+// Reason says why an entry left the cache.
+type Reason uint8
+
+const (
+	// ReasonCapacity marks an eviction forced by the tenant's byte quota.
+	ReasonCapacity Reason = iota
+	// ReasonExpired marks a TTL expiry (lazy or swept).
+	ReasonExpired
+)
+
+// String implements fmt.Stringer.
+func (r Reason) String() string {
+	switch r {
+	case ReasonCapacity:
+		return "capacity"
+	case ReasonExpired:
+		return "expired"
+	default:
+		return fmt.Sprintf("Reason(%d)", int(r))
+	}
+}
+
+// Eviction describes one entry removed by the cache itself (quota pressure
+// or TTL); explicit Deletes are not reported. Value aliases the stored
+// buffer and must be treated as read-only.
+type Eviction struct {
+	Tenant int
+	Key    string
+	Value  []byte
+	Size   int64
+	Reason Reason
+}
+
+// TenantConfig declares one tenant of the cache.
+type TenantConfig struct {
+	// Name labels the tenant in stats and reports.
+	Name string
+	// LatencyCritical marks the tenant as latency-critical to the governing
+	// policy (Ubik reserves its target allocation the way it protects LC
+	// applications in the simulator). Batch tenants compete on utility.
+	LatencyCritical bool
+	// TargetBytes is the latency-critical reserve target (required for LC
+	// tenants; ignored by pure utility policies for batch tenants).
+	TargetBytes int64
+	// MissPenalty weighs this tenant's misses in policy decisions (a tenant
+	// whose misses cost more — e.g. a further backing store — may claim more
+	// space per hit). 0 means 1.
+	MissPenalty float64
+}
+
+func (t TenantConfig) missPenalty() float64 {
+	if t.MissPenalty <= 0 {
+		return 1
+	}
+	return t.MissPenalty
+}
+
+// Config configures a Cache.
+type Config struct {
+	// CapacityBytes is the total byte budget across all tenants (required).
+	CapacityBytes int64
+	// Shards is the shard count, rounded up to a power of two; 0 picks
+	// 4×GOMAXPROCS rounded up.
+	Shards int
+	// LineBytes is the accounting granularity that maps bytes to the policy
+	// layer's "lines" (quota bytes = allocation lines × LineBytes); 0 = 64.
+	LineBytes int
+	// DefaultTTL applies to Set calls passing ttl 0; DefaultTTL 0 means such
+	// entries never expire.
+	DefaultTTL time.Duration
+	// SweepInterval enables the background expiry sweeper; 0 = lazy-only.
+	SweepInterval time.Duration
+	// SampleRate is the fraction of accesses fed into the per-tenant UMONs
+	// (0 disables sampling and therefore governing; 1 feeds everything).
+	SampleRate float64
+	// UMONWays and UMONSampleSets set the shadow-tag geometry of the
+	// per-tenant monitors (0 = 16 ways / 256 sampled sets).
+	UMONWays, UMONSampleSets int
+	// Tenants declares the tenants (at least one).
+	Tenants []TenantConfig
+	// OnEvict, when set, observes capacity evictions and expiries. It is
+	// called after the shard lock is released; it must not call back into
+	// the cache for the same keys synchronously expecting them present.
+	OnEvict func(Eviction)
+	// Clock returns the current time in nanoseconds; nil = time.Now-based.
+	// Injected by tests for deterministic expiry.
+	Clock func() int64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.CapacityBytes <= 0 {
+		return fmt.Errorf("cacheserve: CapacityBytes must be > 0, got %d", c.CapacityBytes)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("cacheserve: Shards must be >= 0, got %d", c.Shards)
+	}
+	if c.LineBytes < 0 {
+		return fmt.Errorf("cacheserve: LineBytes must be >= 0, got %d", c.LineBytes)
+	}
+	if c.SampleRate < 0 || c.SampleRate > 1 {
+		return fmt.Errorf("cacheserve: SampleRate must be in [0,1], got %v", c.SampleRate)
+	}
+	if len(c.Tenants) == 0 {
+		return fmt.Errorf("cacheserve: at least one tenant is required")
+	}
+	seen := make(map[string]bool, len(c.Tenants))
+	for i, t := range c.Tenants {
+		if t.Name == "" {
+			return fmt.Errorf("cacheserve: tenant %d has no name", i)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("cacheserve: duplicate tenant name %q", t.Name)
+		}
+		seen[t.Name] = true
+		if t.LatencyCritical && t.TargetBytes <= 0 {
+			return fmt.Errorf("cacheserve: latency-critical tenant %q needs TargetBytes > 0", t.Name)
+		}
+		if t.TargetBytes < 0 {
+			return fmt.Errorf("cacheserve: tenant %q has negative TargetBytes", t.Name)
+		}
+		if t.MissPenalty < 0 {
+			return fmt.Errorf("cacheserve: tenant %q has negative MissPenalty", t.Name)
+		}
+	}
+	return nil
+}
+
+// entryOverhead approximates the bookkeeping bytes charged per entry on top
+// of key and value (entry struct, map bucket share, list links).
+const entryOverhead = 64
+
+// EntrySize returns the bytes an entry with the given key and value is
+// charged against its tenant's quota.
+func EntrySize(key string, value []byte) int64 {
+	return int64(len(key)) + int64(len(value)) + entryOverhead
+}
+
+// ErrTooLarge is returned by Set when the entry alone exceeds the tenant's
+// per-shard quota and could therefore never be admitted.
+var ErrTooLarge = fmt.Errorf("cacheserve: entry exceeds the tenant's per-shard quota")
+
+// entry is one cached key-value pair; prev/next are the intrusive links of
+// its tenant's per-shard LRU list (head = most recent).
+type entry struct {
+	key        string
+	value      []byte
+	size       int64
+	expireAt   int64 // unix nanoseconds; 0 = never
+	prev, next *entry
+}
+
+// tenantShard is one tenant's slice of one shard, all guarded by the shard
+// mutex.
+type tenantShard struct {
+	items      map[string]*entry
+	head, tail *entry
+	bytes      int64
+	quota      int64
+
+	hits, misses, sets, deletes uint64
+	capEvictions, expirations   uint64
+}
+
+func (ts *tenantShard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		ts.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		ts.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (ts *tenantShard) pushFront(e *entry) {
+	e.prev, e.next = nil, ts.head
+	if ts.head != nil {
+		ts.head.prev = e
+	}
+	ts.head = e
+	if ts.tail == nil {
+		ts.tail = e
+	}
+}
+
+func (ts *tenantShard) moveFront(e *entry) {
+	if ts.head == e {
+		return
+	}
+	ts.unlink(e)
+	ts.pushFront(e)
+}
+
+// remove takes e out of the map, the list and the byte accounting.
+func (ts *tenantShard) remove(e *entry) {
+	delete(ts.items, e.key)
+	ts.unlink(e)
+	ts.bytes -= e.size
+}
+
+type shard struct {
+	mu      sync.Mutex
+	tenants []tenantShard
+	// pad keeps adjacent shards off one cache line so uncontended shards do
+	// not false-share their mutexes.
+	_ [64]byte
+}
+
+// Cache is the sharded, tenant-partitioned concurrent cache. All methods are
+// safe for concurrent use.
+type Cache struct {
+	cfg       Config
+	shards    []shard
+	mask      uint64
+	lineBytes int64
+	clock     func() int64
+	feeds     []*monitor.SampledUMON // nil when SampleRate == 0
+
+	sweepStop chan struct{}
+	sweepDone chan struct{}
+	closeOnce sync.Once
+}
+
+// New builds a cache and starts its sweeper (when configured).
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nshards := cfg.Shards
+	if nshards == 0 {
+		nshards = 4 * runtime.GOMAXPROCS(0)
+	}
+	nshards = nextPow2(nshards)
+	lineBytes := int64(cfg.LineBytes)
+	if lineBytes == 0 {
+		lineBytes = 64
+	}
+	c := &Cache{
+		cfg:       cfg,
+		shards:    make([]shard, nshards),
+		mask:      uint64(nshards - 1),
+		lineBytes: lineBytes,
+		clock:     cfg.Clock,
+	}
+	if c.clock == nil {
+		c.clock = func() int64 { return time.Now().UnixNano() }
+	}
+	nt := len(cfg.Tenants)
+	for i := range c.shards {
+		c.shards[i].tenants = make([]tenantShard, nt)
+		for t := range c.shards[i].tenants {
+			c.shards[i].tenants[t].items = make(map[string]*entry)
+		}
+	}
+	// Every tenant starts with an equal share; the governor redistributes.
+	equal := make([]int64, nt)
+	for t := range equal {
+		equal[t] = cfg.CapacityBytes / int64(nt)
+	}
+	if err := c.SetQuotas(equal); err != nil {
+		return nil, err
+	}
+	if cfg.SampleRate > 0 {
+		ways := cfg.UMONWays
+		if ways == 0 {
+			ways = 16
+		}
+		sets := cfg.UMONSampleSets
+		if sets == 0 {
+			sets = 256
+		}
+		c.feeds = make([]*monitor.SampledUMON, nt)
+		for t := range c.feeds {
+			u, err := monitor.NewUMON(c.CapacityLines(), ways, sets)
+			if err != nil {
+				return nil, err
+			}
+			c.feeds[t], err = monitor.NewSampledUMON(u, cfg.SampleRate)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if cfg.SweepInterval > 0 {
+		c.sweepStop = make(chan struct{})
+		c.sweepDone = make(chan struct{})
+		go c.sweepLoop()
+	}
+	return c, nil
+}
+
+func nextPow2(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// hashKey mixes tenant and key into the 64-bit hash used for shard selection
+// and as the UMON line address (FNV-1a with a tenant-salted seed and a final
+// avalanche, so low bits are usable as a shard mask).
+func hashKey(tenant int, key string) uint64 {
+	h := uint64(1469598103934665603) ^ (uint64(tenant+1) * 0x9E3779B97F4A7C15)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 29
+	return h
+}
+
+// NumShards returns the (power-of-two) shard count.
+func (c *Cache) NumShards() int { return len(c.shards) }
+
+// NumTenants returns the tenant count.
+func (c *Cache) NumTenants() int { return len(c.cfg.Tenants) }
+
+// Tenant returns the tenant's configuration.
+func (c *Cache) Tenant(t int) TenantConfig { return c.cfg.Tenants[t] }
+
+// LineBytes returns the byte-to-line accounting granularity.
+func (c *Cache) LineBytes() int64 { return c.lineBytes }
+
+// CapacityLines returns the total capacity in policy lines.
+func (c *Cache) CapacityLines() uint64 {
+	return uint64(c.cfg.CapacityBytes / c.lineBytes)
+}
+
+// Feed returns the tenant's sampling UMON feed (nil when SampleRate is 0).
+func (c *Cache) Feed(t int) *monitor.SampledUMON {
+	if c.feeds == nil {
+		return nil
+	}
+	return c.feeds[t]
+}
+
+func (c *Cache) checkTenant(tenant int) error {
+	if tenant < 0 || tenant >= len(c.cfg.Tenants) {
+		return fmt.Errorf("cacheserve: tenant %d out of range [0,%d)", tenant, len(c.cfg.Tenants))
+	}
+	return nil
+}
+
+// Set stores value under (tenant, key), copying value so later caller
+// mutations cannot alias the cache. ttl 0 applies DefaultTTL; a negative ttl
+// pins the entry (never expires). Entries displaced by quota pressure are
+// reported through OnEvict in LRU order.
+func (c *Cache) Set(tenant int, key string, value []byte, ttl time.Duration) error {
+	if err := c.checkTenant(tenant); err != nil {
+		return err
+	}
+	h := hashKey(tenant, key)
+	if c.feeds != nil {
+		c.feeds[tenant].Access(h)
+	}
+	size := EntrySize(key, value)
+	var expireAt int64
+	if ttl == 0 {
+		ttl = c.cfg.DefaultTTL
+	}
+	if ttl > 0 {
+		expireAt = c.clock() + int64(ttl)
+	}
+
+	sh := &c.shards[h&c.mask]
+	var evicted []*entry
+	sh.mu.Lock()
+	ts := &sh.tenants[tenant]
+	if size > ts.quota {
+		sh.mu.Unlock()
+		return ErrTooLarge
+	}
+	ts.sets++
+	if e, ok := ts.items[key]; ok {
+		ts.bytes += size - e.size
+		e.value = append(e.value[:0], value...)
+		e.size = size
+		e.expireAt = expireAt
+		ts.moveFront(e)
+	} else {
+		e := &entry{key: key, value: append([]byte(nil), value...), size: size, expireAt: expireAt}
+		ts.items[key] = e
+		ts.pushFront(e)
+		ts.bytes += size
+	}
+	for ts.bytes > ts.quota {
+		victim := ts.tail
+		ts.remove(victim)
+		ts.capEvictions++
+		evicted = append(evicted, victim)
+	}
+	sh.mu.Unlock()
+	c.report(tenant, evicted, ReasonCapacity)
+	return nil
+}
+
+// Get returns the value stored under (tenant, key). The returned slice
+// aliases the cache's internal buffer and must be treated as read-only; it
+// stays valid until the key is overwritten. An expired entry is removed
+// (counted as a miss and an expiry) on the way.
+func (c *Cache) Get(tenant int, key string) ([]byte, bool) {
+	if c.checkTenant(tenant) != nil {
+		return nil, false
+	}
+	h := hashKey(tenant, key)
+	if c.feeds != nil {
+		c.feeds[tenant].Access(h)
+	}
+	sh := &c.shards[h&c.mask]
+	sh.mu.Lock()
+	ts := &sh.tenants[tenant]
+	e, ok := ts.items[key]
+	if !ok {
+		ts.misses++
+		sh.mu.Unlock()
+		return nil, false
+	}
+	if e.expireAt > 0 && c.clock() >= e.expireAt {
+		ts.remove(e)
+		ts.expirations++
+		ts.misses++
+		sh.mu.Unlock()
+		c.report(tenant, []*entry{e}, ReasonExpired)
+		return nil, false
+	}
+	ts.hits++
+	ts.moveFront(e)
+	v := e.value
+	sh.mu.Unlock()
+	return v, true
+}
+
+// Delete removes (tenant, key) and reports whether it was present. Explicit
+// deletes are not passed to OnEvict.
+func (c *Cache) Delete(tenant int, key string) bool {
+	if c.checkTenant(tenant) != nil {
+		return false
+	}
+	h := hashKey(tenant, key)
+	sh := &c.shards[h&c.mask]
+	sh.mu.Lock()
+	ts := &sh.tenants[tenant]
+	e, ok := ts.items[key]
+	if ok {
+		ts.remove(e)
+		ts.deletes++
+	}
+	sh.mu.Unlock()
+	return ok
+}
+
+// report invokes the eviction callback for a batch, outside any lock, in
+// the order the entries were removed.
+func (c *Cache) report(tenant int, batch []*entry, reason Reason) {
+	if c.cfg.OnEvict == nil || len(batch) == 0 {
+		return
+	}
+	for _, e := range batch {
+		c.cfg.OnEvict(Eviction{Tenant: tenant, Key: e.key, Value: e.value, Size: e.size, Reason: reason})
+	}
+}
+
+// SetQuotas installs new per-tenant byte quotas (one per tenant), dividing
+// each across shards (the remainder goes to the low shards) and immediately
+// evicting any tenant's LRU entries above its new shard quota. This is the
+// enforcement point the governor drives each epoch.
+func (c *Cache) SetQuotas(quotas []int64) error {
+	if len(quotas) != len(c.cfg.Tenants) {
+		return fmt.Errorf("cacheserve: got %d quotas for %d tenants", len(quotas), len(c.cfg.Tenants))
+	}
+	var total int64
+	for t, q := range quotas {
+		if q < 0 {
+			return fmt.Errorf("cacheserve: tenant %d quota is negative", t)
+		}
+		total += q
+	}
+	if total > c.cfg.CapacityBytes {
+		return fmt.Errorf("cacheserve: quotas sum to %d > capacity %d", total, c.cfg.CapacityBytes)
+	}
+	nshards := int64(len(c.shards))
+	for si := range c.shards {
+		sh := &c.shards[si]
+		var evicted []*entry
+		var tenants []int
+		sh.mu.Lock()
+		for t := range sh.tenants {
+			ts := &sh.tenants[t]
+			q := quotas[t] / nshards
+			if int64(si) < quotas[t]%nshards {
+				q++
+			}
+			ts.quota = q
+			for ts.bytes > ts.quota {
+				victim := ts.tail
+				ts.remove(victim)
+				ts.capEvictions++
+				evicted = append(evicted, victim)
+				tenants = append(tenants, t)
+			}
+		}
+		sh.mu.Unlock()
+		for i, e := range evicted {
+			c.report(tenants[i], []*entry{e}, ReasonCapacity)
+		}
+	}
+	return nil
+}
+
+// TenantQuota returns the tenant's current total byte quota.
+func (c *Cache) TenantQuota(tenant int) int64 {
+	if c.checkTenant(tenant) != nil {
+		return 0
+	}
+	var total int64
+	for si := range c.shards {
+		sh := &c.shards[si]
+		sh.mu.Lock()
+		total += sh.tenants[tenant].quota
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// TenantUsage returns the tenant's current bytes in cache.
+func (c *Cache) TenantUsage(tenant int) int64 {
+	if c.checkTenant(tenant) != nil {
+		return 0
+	}
+	var total int64
+	for si := range c.shards {
+		sh := &c.shards[si]
+		sh.mu.Lock()
+		total += sh.tenants[tenant].bytes
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Len returns the total number of live entries.
+func (c *Cache) Len() int {
+	n := 0
+	for si := range c.shards {
+		sh := &c.shards[si]
+		sh.mu.Lock()
+		for t := range sh.tenants {
+			n += len(sh.tenants[t].items)
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// TenantStats aggregates one tenant's counters across shards.
+type TenantStats struct {
+	Name                        string
+	Hits, Misses, Sets, Deletes uint64
+	CapacityEvictions           uint64
+	Expirations                 uint64
+	Keys                        int
+	BytesUsed, QuotaBytes       int64
+	// SampledAccesses is the number of accesses offered to the tenant's UMON
+	// feed (0 when sampling is off).
+	SampledAccesses uint64
+}
+
+// HitRatio returns hits/(hits+misses), or 0 before any lookups.
+func (s TenantStats) HitRatio() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Stats returns a per-tenant snapshot of counters, usage and quotas. Shards
+// are locked one at a time, so the snapshot is per-shard (not globally)
+// atomic — fine for reporting, not a linearizable sum.
+func (c *Cache) Stats() []TenantStats {
+	out := make([]TenantStats, len(c.cfg.Tenants))
+	for t := range out {
+		out[t].Name = c.cfg.Tenants[t].Name
+		if c.feeds != nil {
+			out[t].SampledAccesses = c.feeds[t].Presented()
+		}
+	}
+	for si := range c.shards {
+		sh := &c.shards[si]
+		sh.mu.Lock()
+		for t := range sh.tenants {
+			ts := &sh.tenants[t]
+			out[t].Hits += ts.hits
+			out[t].Misses += ts.misses
+			out[t].Sets += ts.sets
+			out[t].Deletes += ts.deletes
+			out[t].CapacityEvictions += ts.capEvictions
+			out[t].Expirations += ts.expirations
+			out[t].Keys += len(ts.items)
+			out[t].BytesUsed += ts.bytes
+			out[t].QuotaBytes += ts.quota
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// sweepLoop periodically removes expired entries so idle tenants do not pin
+// dead bytes against their quotas until the next Get.
+func (c *Cache) sweepLoop() {
+	defer close(c.sweepDone)
+	ticker := time.NewTicker(c.cfg.SweepInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.sweepStop:
+			return
+		case <-ticker.C:
+			c.Sweep()
+		}
+	}
+}
+
+// Sweep removes every expired entry now, shard by shard, and returns how
+// many it removed. The sweeper calls this on its interval; tests and
+// embedders may call it directly.
+func (c *Cache) Sweep() int {
+	now := c.clock()
+	removed := 0
+	for si := range c.shards {
+		sh := &c.shards[si]
+		var evicted []*entry
+		var tenants []int
+		sh.mu.Lock()
+		for t := range sh.tenants {
+			ts := &sh.tenants[t]
+			for _, e := range ts.items {
+				if e.expireAt > 0 && now >= e.expireAt {
+					evicted = append(evicted, e)
+					tenants = append(tenants, t)
+				}
+			}
+		}
+		for i, e := range evicted {
+			ts := &sh.tenants[tenants[i]]
+			ts.remove(e)
+			ts.expirations++
+		}
+		sh.mu.Unlock()
+		for i, e := range evicted {
+			c.report(tenants[i], []*entry{e}, ReasonExpired)
+		}
+		removed += len(evicted)
+	}
+	return removed
+}
+
+// Close stops the background sweeper (if any). The cache remains usable for
+// lookups; Close exists so tests and servers can shut down cleanly.
+func (c *Cache) Close() {
+	c.closeOnce.Do(func() {
+		if c.sweepStop != nil {
+			close(c.sweepStop)
+			<-c.sweepDone
+		}
+	})
+}

@@ -1,0 +1,165 @@
+package cacheserve
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestConcurrentMixedOps is the -race suite from the issue: N goroutines run a
+// mixed Get/Set/Delete/expiry workload over a large key space while a governor
+// resizes quotas and a sweeper expires entries, then the structural invariants
+// (LRU/map agreement, byte accounting, usage within quota) are checked after
+// quiesce.
+func TestConcurrentMixedOps(t *testing.T) {
+	keys := 1 << 20
+	ops := 200_000
+	if testing.Short() {
+		keys = 1 << 16
+		ops = 20_000
+	}
+	c := mustNew(t, Config{
+		CapacityBytes: 8 << 20,
+		Shards:        16,
+		SampleRate:    0.1,
+		SweepInterval: time.Millisecond,
+		Tenants: []TenantConfig{
+			{Name: "a"}, {Name: "b"}, {Name: "c"},
+		},
+	})
+	gov, err := NewGovernor(c, core.NewUbik(), GovernorConfig{Epoch: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gov.Start()
+
+	workers := 8
+	var wg sync.WaitGroup
+	var setErrs atomic.Uint64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			val := make([]byte, 64)
+			for i := 0; i < ops; i++ {
+				tenant := rng.Intn(c.NumTenants())
+				key := fmt.Sprintf("key-%d", rng.Intn(keys))
+				switch op := rng.Intn(10); {
+				case op < 5:
+					c.Get(tenant, key)
+				case op < 8:
+					if err := c.Set(tenant, key, val, 0); err != nil {
+						setErrs.Add(1)
+					}
+				case op < 9:
+					// Short TTL so the sweeper and lazy expiry both see work.
+					if err := c.Set(tenant, key, val, time.Millisecond); err != nil {
+						setErrs.Add(1)
+					}
+				default:
+					c.Delete(tenant, key)
+				}
+			}
+		}(int64(w) + 1)
+	}
+	wg.Wait()
+	gov.Stop()
+	c.Close()
+
+	if n := setErrs.Load(); n > 0 {
+		// ErrTooLarge can only fire if a governor epoch shrank a quota below
+		// one 129-byte entry per shard; the MinTenantBytes floor (8MiB/256 =
+		// 32KiB across 16 shards = 2KiB/shard) prevents that.
+		t.Fatalf("%d Set calls failed", n)
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	var quota int64
+	for tenant := 0; tenant < c.NumTenants(); tenant++ {
+		if used := c.TenantUsage(tenant); used > c.TenantQuota(tenant) {
+			t.Fatalf("tenant %d usage %d over quota %d after quiesce", tenant, used, c.TenantQuota(tenant))
+		}
+		quota += c.TenantQuota(tenant)
+	}
+	if quota > c.cfg.CapacityBytes {
+		t.Fatalf("quotas sum to %d > capacity %d", quota, c.cfg.CapacityBytes)
+	}
+}
+
+// TestConcurrentSingleKeyChurn hammers one key from many goroutines so -race
+// can see any unsynchronised access to a single entry's fields.
+func TestConcurrentSingleKeyChurn(t *testing.T) {
+	c := mustNew(t, testConfig(func(cfg *Config) { cfg.SampleRate = 0.5 }))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			val := []byte{byte(w)}
+			for i := 0; i < 20_000; i++ {
+				switch i % 3 {
+				case 0:
+					c.Set(0, "hot", val, 0)
+				case 1:
+					c.Get(0, "hot")
+				default:
+					c.Delete(0, "hot")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentSetQuotas moves quotas between two tenants while both are
+// being written, then verifies accounting.
+func TestConcurrentSetQuotas(t *testing.T) {
+	c := mustNew(t, Config{
+		CapacityBytes: 1 << 20,
+		Shards:        8,
+		Tenants:       []TenantConfig{{Name: "x"}, {Name: "y"}},
+	})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for tenant := 0; tenant < 2; tenant++ {
+		wg.Add(1)
+		go func(tenant int) {
+			defer wg.Done()
+			val := make([]byte, 128)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Set(tenant, fmt.Sprintf("t%d-%d", tenant, i%4096), val, 0)
+			}
+		}(tenant)
+	}
+	total := c.cfg.CapacityBytes
+	for i := 0; i < 200; i++ {
+		a := total / 4
+		if i%2 == 1 {
+			a = total / 2
+		}
+		if err := c.SetQuotas([]int64{a, total - a}); err != nil {
+			t.Errorf("SetQuotas: %v", err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

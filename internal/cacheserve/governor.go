@@ -1,0 +1,242 @@
+package cacheserve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/policy"
+)
+
+// Governor runs policy epochs over the cache's live UMON feeds: every epoch
+// it snapshots each tenant's sampled miss curve, assembles a plant-agnostic
+// policy.PlantView, asks the policy (Ubik, UCP, ...) to reconfigure, and
+// applies the resulting line targets as byte quotas via Cache.SetQuotas —
+// the exact control loop the simulator runs at reconfiguration intervals,
+// pointed at a real plant.
+//
+// Epochs can be driven synchronously (Step, used by tests and benchmarks)
+// or by a background goroutine (Start/Stop). Live epochs are not bitwise
+// deterministic — the sampled stream depends on goroutine interleaving (see
+// monitor.SampledUMON) — but every epoch's decision is a pure function of
+// the curves it snapshots, so convergence is testable against tolerance.
+type Governor struct {
+	cache *Cache
+	pol   policy.Policy
+	cfg   GovernorConfig
+
+	mu       sync.Mutex // serialises Step against itself and Start/Stop
+	lastSnap []monitor.UMONSnapshot
+	epochs   uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// GovernorConfig tunes the governor.
+type GovernorConfig struct {
+	// Epoch is the background reconfiguration period (Start); 0 = 100ms.
+	Epoch time.Duration
+	// EpochCycles is the interval length presented to the policy as
+	// View.IntervalCycles (and the synthetic deadline for latency-critical
+	// tenants, which have no request deadlines in live mode); 0 = 1e6.
+	EpochCycles uint64
+	// MinTenantBytes floors every tenant's quota so a cold or bursty tenant
+	// is never starved to zero by one bad epoch; 0 = capacity/256.
+	MinTenantBytes int64
+	// CurvePoints is the interpolation granularity of the curves handed to
+	// the policy; 0 = 256.
+	CurvePoints int
+}
+
+func (g GovernorConfig) withDefaults(capacity int64) GovernorConfig {
+	if g.Epoch == 0 {
+		g.Epoch = 100 * time.Millisecond
+	}
+	if g.EpochCycles == 0 {
+		g.EpochCycles = 1_000_000
+	}
+	if g.MinTenantBytes == 0 {
+		g.MinTenantBytes = capacity / 256
+	}
+	if g.CurvePoints == 0 {
+		g.CurvePoints = 256
+	}
+	return g
+}
+
+// NewGovernor attaches a policy to the cache. The cache must have sampling
+// enabled (SampleRate > 0): without UMON feeds there are no miss curves to
+// govern from.
+func NewGovernor(c *Cache, pol policy.Policy, cfg GovernorConfig) (*Governor, error) {
+	if c.feeds == nil {
+		return nil, fmt.Errorf("cacheserve: governor needs a cache with SampleRate > 0")
+	}
+	if pol == nil {
+		return nil, fmt.Errorf("cacheserve: governor needs a policy")
+	}
+	cfg = cfg.withDefaults(c.cfg.CapacityBytes)
+	if cfg.MinTenantBytes*int64(c.NumTenants()) > c.cfg.CapacityBytes {
+		return nil, fmt.Errorf("cacheserve: MinTenantBytes %d × %d tenants exceeds capacity %d",
+			cfg.MinTenantBytes, c.NumTenants(), c.cfg.CapacityBytes)
+	}
+	return &Governor{
+		cache:    c,
+		pol:      pol,
+		cfg:      cfg,
+		lastSnap: make([]monitor.UMONSnapshot, c.NumTenants()),
+	}, nil
+}
+
+// Epochs returns how many epochs have run.
+func (g *Governor) Epochs() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.epochs
+}
+
+// Step runs one reconfiguration epoch synchronously and returns the applied
+// per-tenant byte quotas.
+func (g *Governor) Step() ([]int64, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.step()
+}
+
+func (g *Governor) step() ([]int64, error) {
+	c := g.cache
+	n := c.NumTenants()
+	lines := c.CapacityLines()
+	lineBytes := c.lineBytes
+	stats := c.Stats()
+
+	apps := make([]policy.AppObservation, n)
+	targets := make([]uint64, n)
+	for t := 0; t < n; t++ {
+		curve, snap := c.feeds[t].CurveAndSnapshot(g.lastSnap[t])
+		g.lastSnap[t] = snap
+		if curve.Accesses > 0 {
+			// The UMON's x-axis is in entries: every distinct key occupies one
+			// shadow-tag line regardless of its real size. The policy's lines
+			// are LineBytes-sized byte units, so stretch the curve onto the
+			// byte axis by the tenant's measured mean entry size — otherwise a
+			// tenant with large entries looks ~(entry/LineBytes)× cheaper to
+			// cache than it is, and (e.g.) a wrapping scan's reuse cliff lands
+			// inside the reachable range when it is really beyond capacity.
+			if stats[t].Keys > 0 {
+				if avg := stats[t].BytesUsed / int64(stats[t].Keys); avg > lineBytes {
+					curve.TotalLines = uint64(float64(curve.TotalLines) * float64(avg) / float64(lineBytes))
+				}
+			}
+			curve = curve.Interpolate(g.cfg.CurvePoints)
+		} else {
+			// A silent tenant contributes a flat zero curve: no utility, so
+			// utility policies shrink it toward the floor until it speaks.
+			curve = monitor.FlatCurve(lines, 2, 0, 0)
+		}
+		tc := c.cfg.Tenants[t]
+		targets[t] = uint64(stats[t].QuotaBytes / lineBytes)
+		apps[t] = policy.AppObservation{
+			LatencyCritical:    tc.LatencyCritical,
+			Active:             true,
+			Curve:              curve,
+			MissPenalty:        tc.missPenalty(),
+			CyclesPerAccessHit: 1,
+			CurrentTarget:      targets[t],
+			Occupancy:          uint64(stats[t].BytesUsed / lineBytes),
+			LCTargetLines:      uint64(tc.TargetBytes / lineBytes),
+			DeadlineCycles:     g.cfg.EpochCycles,
+			Misses:             stats[t].Misses,
+			Snap:               g.lastSnap[t],
+		}
+	}
+	g.epochs++
+	view := &policy.PlantView{
+		Apps:        apps,
+		Lines:       lines,
+		EpochCycles: g.cfg.EpochCycles,
+		Clock:       g.epochs * g.cfg.EpochCycles,
+	}
+	policy.ApplyResizes(targets, g.pol.Reconfigure(view))
+
+	quotas := normalizeQuotas(targets, lineBytes, c.cfg.CapacityBytes, g.cfg.MinTenantBytes)
+	if err := c.SetQuotas(quotas); err != nil {
+		return nil, err
+	}
+	return quotas, nil
+}
+
+// normalizeQuotas converts line targets to byte quotas, floors each at
+// minBytes, and scales the part above the floors down proportionally when
+// the total exceeds capacity (policies emit targets that sum to at most the
+// line capacity, but flooring and byte rounding can push past it).
+func normalizeQuotas(targets []uint64, lineBytes, capacity, minBytes int64) []int64 {
+	quotas := make([]int64, len(targets))
+	var floors, above int64
+	for i, t := range targets {
+		q := int64(t) * lineBytes
+		if q < minBytes {
+			q = minBytes
+		}
+		quotas[i] = q
+		floors += minBytes
+		above += q - minBytes
+	}
+	total := floors + above
+	if total <= capacity || above == 0 {
+		return quotas
+	}
+	spare := capacity - floors
+	if spare < 0 {
+		spare = 0
+	}
+	for i := range quotas {
+		excess := quotas[i] - minBytes
+		quotas[i] = minBytes + int64(float64(excess)*float64(spare)/float64(above))
+	}
+	return quotas
+}
+
+// Start launches the background epoch loop. Stop (or nothing: the loop
+// holds no resources beyond its goroutine) ends it.
+func (g *Governor) Start() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.stop != nil {
+		return
+	}
+	g.stop = make(chan struct{})
+	g.done = make(chan struct{})
+	go g.loop(g.stop, g.done)
+}
+
+func (g *Governor) loop(stop, done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(g.cfg.Epoch)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			// Epoch errors can only come from SetQuotas rejecting the vector,
+			// which normalizeQuotas prevents; a background loop has no caller
+			// to hand them to, so they are dropped by design.
+			_, _ = g.Step()
+		}
+	}
+}
+
+// Stop ends the background loop and waits for it to exit. Safe to call
+// without Start and more than once.
+func (g *Governor) Stop() {
+	g.mu.Lock()
+	stop, done := g.stop, g.done
+	g.stop, g.done = nil, nil
+	g.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}

@@ -1,0 +1,280 @@
+package cacheserve
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+)
+
+// convergenceCache builds a 4MiB two-tenant cache where tenant 0 ("reuse")
+// has a working set larger than its equal share and tenant 1 ("scan") streams
+// with no reuse, then drives traffic and governor epochs until quotas settle.
+//
+// The governor should move bytes from the scan tenant (whose miss curve is
+// flat: more space saves nothing) toward the reuse tenant (whose curve keeps
+// falling past the equal share).
+func runConvergence(t *testing.T, pol policy.Policy) (reuseQuota, scanQuota int64) {
+	t.Helper()
+	c := mustNew(t, Config{
+		CapacityBytes:  4 << 20,
+		Shards:         4,
+		SampleRate:     1,
+		UMONSampleSets: 4096, // monitor every set: small key space needs full fidelity
+		Tenants: []TenantConfig{
+			{Name: "reuse"},
+			{Name: "scan"},
+		},
+	})
+	gov, err := NewGovernor(c, pol, GovernorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reuse tenant: ~16k keys × ~200B ≈ 3.2MiB working set (vs 2MiB equal
+	// share). Scan tenant: a long pass over 500k keys, never repeated.
+	rng := rand.New(rand.NewSource(7))
+	zipf := rand.NewZipf(rng, 1.1, 1, 16*1024-1)
+	val := make([]byte, 128)
+	scanPos := 0
+	epochs := 20
+	if testing.Short() {
+		epochs = 8
+	}
+	for e := 0; e < epochs; e++ {
+		for i := 0; i < 40_000; i++ {
+			k := fmt.Sprintf("r%d", zipf.Uint64())
+			if _, ok := c.Get(0, k); !ok {
+				c.Set(0, k, val, 0)
+			}
+			if i%2 == 0 {
+				sk := fmt.Sprintf("s%d", scanPos)
+				scanPos = (scanPos + 1) % 500_000
+				if _, ok := c.Get(1, sk); !ok {
+					c.Set(1, sk, val, 0)
+				}
+			}
+		}
+		if _, err := gov.Step(); err != nil {
+			t.Fatalf("epoch %d: %v", e, err)
+		}
+	}
+	if gov.Epochs() != uint64(epochs) {
+		t.Fatalf("Epochs = %d, want %d", gov.Epochs(), epochs)
+	}
+	return c.TenantQuota(0), c.TenantQuota(1)
+}
+
+func TestGovernorConvergesTowardReuseTenantUbik(t *testing.T) {
+	reuse, scan := runConvergence(t, core.NewUbik())
+	// The acceptance bar: the governor measurably shifts quota toward the
+	// higher-utility tenant. Equal share is 2MiB each; require a clear skew.
+	if reuse <= scan {
+		t.Fatalf("Ubik left reuse tenant at %d <= scan tenant %d", reuse, scan)
+	}
+	if float64(reuse) < 1.25*float64(scan) {
+		t.Fatalf("Ubik skew too weak: reuse %d vs scan %d", reuse, scan)
+	}
+}
+
+func TestGovernorConvergesTowardReuseTenantUCP(t *testing.T) {
+	reuse, scan := runConvergence(t, policy.NewUCP())
+	if reuse <= scan {
+		t.Fatalf("UCP left reuse tenant at %d <= scan tenant %d", reuse, scan)
+	}
+	if float64(reuse) < 1.25*float64(scan) {
+		t.Fatalf("UCP skew too weak: reuse %d vs scan %d", reuse, scan)
+	}
+}
+
+// TestGovernorNotFooledByWrappingScan is the byte-axis regression test: a
+// cyclic scan whose working set fits the capacity counted in 64-byte lines
+// (50k keys × 64B = 3.2MiB < 4MiB) but not in real entries (50k × ~197B ≈
+// 9.8MiB) must NOT win quota from a zipf tenant with genuine in-capacity
+// reuse. Without stretching miss curves by the measured entry size, the scan's
+// shadow-tag reuse cliff appears reachable and the governor hands it almost
+// everything.
+func TestGovernorNotFooledByWrappingScan(t *testing.T) {
+	c := mustNew(t, Config{
+		CapacityBytes:  4 << 20,
+		Shards:         4,
+		SampleRate:     1,
+		UMONSampleSets: 4096,
+		Tenants:        []TenantConfig{{Name: "reuse"}, {Name: "wrapscan"}},
+	})
+	gov, err := NewGovernor(c, core.NewUbik(), GovernorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	zipf := rand.NewZipf(rng, 1.1, 1, 8*1024-1)
+	val := make([]byte, 128)
+	scanPos := 0
+	for e := 0; e < 12; e++ {
+		for i := 0; i < 40_000; i++ {
+			k := fmt.Sprintf("r%d", zipf.Uint64())
+			if _, ok := c.Get(0, k); !ok {
+				c.Set(0, k, val, 0)
+			}
+			sk := fmt.Sprintf("s%d", scanPos)
+			scanPos = (scanPos + 1) % 50_000 // wraps ~9.6x over the run
+			if _, ok := c.Get(1, sk); !ok {
+				c.Set(1, sk, val, 0)
+			}
+		}
+		if _, err := gov.Step(); err != nil {
+			t.Fatalf("epoch %d: %v", e, err)
+		}
+	}
+	reuse, scan := c.TenantQuota(0), c.TenantQuota(1)
+	if reuse <= scan {
+		t.Fatalf("wrapping scan won quota: reuse %d vs scan %d", reuse, scan)
+	}
+}
+
+// TestGovernorProtectsLatencyCriticalTenant gives the LC tenant a reserve
+// target and checks Ubik holds its quota at (or above) that target even though
+// a batch tenant with heavy reuse is competing for the same bytes.
+func TestGovernorProtectsLatencyCriticalTenant(t *testing.T) {
+	target := int64(1 << 20) // 1MiB of 4MiB
+	c := mustNew(t, Config{
+		CapacityBytes:  4 << 20,
+		Shards:         4,
+		SampleRate:     1,
+		UMONSampleSets: 4096,
+		Tenants: []TenantConfig{
+			{Name: "lc", LatencyCritical: true, TargetBytes: target},
+			{Name: "batch"},
+		},
+	})
+	gov, err := NewGovernor(c, core.NewUbik(), GovernorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	zipf := rand.NewZipf(rng, 1.1, 1, 32*1024-1)
+	val := make([]byte, 128)
+	for e := 0; e < 10; e++ {
+		for i := 0; i < 20_000; i++ {
+			// LC tenant touches a modest working set; batch tenant hammers a
+			// big zipf set that would love the LC tenant's bytes.
+			lk := fmt.Sprintf("l%d", i%2048)
+			if _, ok := c.Get(0, lk); !ok {
+				c.Set(0, lk, val, 0)
+			}
+			bk := fmt.Sprintf("b%d", zipf.Uint64())
+			if _, ok := c.Get(1, bk); !ok {
+				c.Set(1, bk, val, 0)
+			}
+		}
+		if _, err := gov.Step(); err != nil {
+			t.Fatalf("epoch %d: %v", e, err)
+		}
+	}
+	got := c.TenantQuota(0)
+	// Byte rounding across shards can shave a line or two off the target.
+	if got < target-4*c.LineBytes() {
+		t.Fatalf("LC tenant quota %d fell below its %d-byte target", got, target)
+	}
+}
+
+func TestGovernorRequiresSampling(t *testing.T) {
+	c := mustNew(t, testConfig(nil)) // SampleRate 0
+	if _, err := NewGovernor(c, core.NewUbik(), GovernorConfig{}); err == nil {
+		t.Fatal("NewGovernor accepted a cache without sampling")
+	}
+}
+
+func TestGovernorRejectsNilPolicy(t *testing.T) {
+	c := mustNew(t, testConfig(func(cfg *Config) { cfg.SampleRate = 1 }))
+	if _, err := NewGovernor(c, nil, GovernorConfig{}); err == nil {
+		t.Fatal("NewGovernor accepted a nil policy")
+	}
+}
+
+func TestGovernorFloorsQuotas(t *testing.T) {
+	// A silent tenant must keep MinTenantBytes even as an active tenant wins
+	// the rest.
+	c := mustNew(t, Config{
+		CapacityBytes: 1 << 20,
+		Shards:        2,
+		SampleRate:    1,
+		Tenants:       []TenantConfig{{Name: "busy"}, {Name: "idle"}},
+	})
+	min := int64(64 << 10)
+	gov, err := NewGovernor(c, core.NewUbik(), GovernorConfig{MinTenantBytes: min})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := make([]byte, 128)
+	for i := 0; i < 20_000; i++ {
+		k := fmt.Sprintf("k%d", i%4096)
+		if _, ok := c.Get(0, k); !ok {
+			c.Set(0, k, val, 0)
+		}
+	}
+	quotas, err := gov.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quotas[1] < min {
+		t.Fatalf("idle tenant floored at %d, want >= %d", quotas[1], min)
+	}
+	var sum int64
+	for _, q := range quotas {
+		sum += q
+	}
+	if sum > c.cfg.CapacityBytes {
+		t.Fatalf("quotas sum to %d > capacity", sum)
+	}
+}
+
+func TestGovernorStartStop(t *testing.T) {
+	c := mustNew(t, testConfig(func(cfg *Config) { cfg.SampleRate = 1 }))
+	gov, err := NewGovernor(c, core.NewUbik(), GovernorConfig{Epoch: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gov.Start()
+	gov.Start() // idempotent
+	val := []byte("v")
+	deadline := time.Now().Add(2 * time.Second)
+	for gov.Epochs() < 3 {
+		c.Set(0, "k", val, 0)
+		c.Get(0, "k")
+		if time.Now().After(deadline) {
+			t.Fatal("background governor never ran an epoch")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	gov.Stop()
+	gov.Stop() // idempotent
+	after := gov.Epochs()
+	time.Sleep(5 * time.Millisecond)
+	if gov.Epochs() != after {
+		t.Fatal("governor kept stepping after Stop")
+	}
+}
+
+func TestNormalizeQuotas(t *testing.T) {
+	// Over-capacity targets are scaled down above the floors; totals fit.
+	quotas := normalizeQuotas([]uint64{100, 100}, 64, 8000, 1000)
+	var sum int64
+	for _, q := range quotas {
+		if q < 1000 {
+			t.Fatalf("quota %d below floor", q)
+		}
+		sum += q
+	}
+	if sum > 8000 {
+		t.Fatalf("normalized quotas sum to %d > 8000", sum)
+	}
+	// Under-capacity targets pass through (modulo flooring).
+	quotas = normalizeQuotas([]uint64{10, 20}, 64, 1<<20, 0)
+	if quotas[0] != 640 || quotas[1] != 1280 {
+		t.Fatalf("pass-through quotas = %v", quotas)
+	}
+}

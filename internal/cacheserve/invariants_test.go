@@ -1,0 +1,55 @@
+package cacheserve
+
+import "fmt"
+
+// checkInvariants walks every shard under its lock and verifies the
+// structural invariants the concurrency suite relies on after quiesce:
+// LRU list doubly-linked and consistent with the map, byte accounting equal
+// to the sum of entry sizes, and usage within quota.
+func (c *Cache) checkInvariants() error {
+	for si := range c.shards {
+		sh := &c.shards[si]
+		sh.mu.Lock()
+		for t := range sh.tenants {
+			ts := &sh.tenants[t]
+			var n int
+			var bytes int64
+			var prev *entry
+			for e := ts.head; e != nil; e = e.next {
+				if e.prev != prev {
+					sh.mu.Unlock()
+					return fmt.Errorf("shard %d tenant %d: broken back-link at %q", si, t, e.key)
+				}
+				if got, ok := ts.items[e.key]; !ok || got != e {
+					sh.mu.Unlock()
+					return fmt.Errorf("shard %d tenant %d: list entry %q not in map", si, t, e.key)
+				}
+				if e.size != EntrySize(e.key, e.value) {
+					sh.mu.Unlock()
+					return fmt.Errorf("shard %d tenant %d: entry %q size %d != charged %d", si, t, e.key, EntrySize(e.key, e.value), e.size)
+				}
+				n++
+				bytes += e.size
+				prev = e
+			}
+			if ts.tail != prev {
+				sh.mu.Unlock()
+				return fmt.Errorf("shard %d tenant %d: tail mismatch", si, t)
+			}
+			if n != len(ts.items) {
+				sh.mu.Unlock()
+				return fmt.Errorf("shard %d tenant %d: list has %d entries, map %d", si, t, n, len(ts.items))
+			}
+			if bytes != ts.bytes {
+				sh.mu.Unlock()
+				return fmt.Errorf("shard %d tenant %d: accounted %d bytes, actual %d", si, t, ts.bytes, bytes)
+			}
+			if ts.bytes > ts.quota {
+				sh.mu.Unlock()
+				return fmt.Errorf("shard %d tenant %d: usage %d over quota %d", si, t, ts.bytes, ts.quota)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}

@@ -203,7 +203,9 @@ func runScenarioSingle(out *ScenarioOutcome, spec scenario.Spec, schemes []scena
 	out.Schemes = make([]ScenarioScheme, len(schemes))
 	return parallel.For(len(schemes), workers, func(i int) error {
 		rs := schemes[i]
-		runCfg := cfg
+		// Scheme runs execute `workers` at a time; divide the machine so
+		// in-run speculation cannot oversubscribe it.
+		runCfg := cfg.WithIntraBudget(workers)
 		if rs.Unpartitioned {
 			runCfg.LLC.Mode = cache.ModeLRU
 		}
@@ -330,7 +332,14 @@ func runScenarioCluster(out *ScenarioOutcome, spec scenario.Spec, schemes []scen
 	out.Schemes = make([]ScenarioScheme, len(schemes))
 	return parallel.For(len(schemes), schemeWorkers, func(i int) error {
 		rs := schemes[i]
-		res, err := cluster.RunPooled(buildSpec(rs), nodeWorkers, pool, rs.Key)
+		// schemeWorkers × nodeWorkers node simulations run at once in either
+		// shape; budget each node's speculation width against that product
+		// (pool identities are unaffected: PoolIdentity clears the knob).
+		spec := buildSpec(rs)
+		for n := range spec.Nodes {
+			spec.Nodes[n].Config = spec.Nodes[n].Config.WithIntraBudget(workers)
+		}
+		res, err := cluster.RunPooled(spec, nodeWorkers, pool, rs.Key)
 		if err != nil {
 			return fmt.Errorf("scheme %s: %w", rs.Scheme.Name, err)
 		}

@@ -1,0 +1,120 @@
+package monitor
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// SampledUMON is a concurrency-safe, stream-sampling front end to a UMON, for
+// plants whose access stream is produced by many goroutines at once (the live
+// cache service) rather than by a single-threaded simulator loop.
+//
+// The simulator feeds its UMONs every LLC access from one goroutine; a live
+// service cannot afford a lock on every operation, so the feed forwards only
+// every k-th presented access (k = round(1/rate)) into the underlying monitor
+// and takes the mutex only for those. The stride counter is a single atomic
+// add, so the unsampled fast path costs one uncontended atomic per access.
+//
+// Stride sampling (rather than hashing the address) keeps hot keys in the
+// sampled stream in proportion to their true access frequency — address-hash
+// sampling would either always or never see a given hot key, skewing the miss
+// curve of skewed workloads. The price is that under concurrency *which*
+// accesses land on the sampled stride depends on interleaving, so live-mode
+// miss curves are statistically, not bitwise, reproducible (the simulator
+// path is unaffected: it feeds UMONs directly).
+//
+// MissCurve scales the sampled curve by presented/fed, so its Accesses and
+// Misses estimate the full stream, comparable across tenants sampled at
+// different rates.
+type SampledUMON struct {
+	u      *UMON
+	stride uint64
+	// presented counts every access offered to the feed; accesses where
+	// presented % stride == 0 are forwarded to the UMON.
+	presented atomic.Uint64
+	mu        sync.Mutex
+}
+
+// NewSampledUMON wraps the monitor with a sampling feed forwarding roughly
+// the given fraction of presented accesses (clamped to (0, 1]; rate >= 1
+// forwards everything).
+func NewSampledUMON(u *UMON, rate float64) (*SampledUMON, error) {
+	if u == nil {
+		return nil, fmt.Errorf("monitor: SampledUMON needs a UMON")
+	}
+	if rate <= 0 {
+		return nil, fmt.Errorf("monitor: sampling rate must be > 0, got %v", rate)
+	}
+	stride := uint64(1)
+	if rate < 1 {
+		stride = uint64(1/rate + 0.5)
+		if stride < 1 {
+			stride = 1
+		}
+	}
+	return &SampledUMON{u: u, stride: stride}, nil
+}
+
+// Stride returns the sampling stride k (one in k accesses is forwarded).
+func (s *SampledUMON) Stride() uint64 { return s.stride }
+
+// Presented returns how many accesses have been offered to the feed.
+func (s *SampledUMON) Presented() uint64 { return s.presented.Load() }
+
+// Access offers one access (identified by its hashed line address) to the
+// feed. Safe for concurrent use.
+func (s *SampledUMON) Access(addr uint64) {
+	n := s.presented.Add(1)
+	if n%s.stride != 0 {
+		return
+	}
+	s.mu.Lock()
+	s.u.Access(addr)
+	s.mu.Unlock()
+}
+
+// Snapshot returns the underlying monitor's counters, for windowed curve
+// queries via MissCurve.
+func (s *SampledUMON) Snapshot() UMONSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.u.Snapshot()
+}
+
+// MissCurve returns the miss curve accumulated since the snapshot, scaled
+// from the sampled stride stream up to the full presented stream. Pass a
+// zero-valued snapshot for the curve since construction.
+func (s *SampledUMON) MissCurve(since UMONSnapshot) MissCurve {
+	curve, _ := s.CurveAndSnapshot(since)
+	return curve
+}
+
+// CurveAndSnapshot returns the miss curve accumulated since the given
+// snapshot together with the counter snapshot the curve runs up to, read
+// under one lock so an epoch-driven caller loses no accesses between its
+// curve windows.
+func (s *SampledUMON) CurveAndSnapshot(since UMONSnapshot) (MissCurve, UMONSnapshot) {
+	presented := s.presented.Load()
+	s.mu.Lock()
+	curve := s.u.MissCurve(since)
+	snap := s.u.Snapshot()
+	fed := s.u.AccessesSince(UMONSnapshot{})
+	s.mu.Unlock()
+	// The snapshot delta is a window of the fed stream; project it onto the
+	// presented stream with the global presented/fed ratio (exact for a
+	// constant stride, approximate only around the window edges).
+	if fed > 0 && presented > fed {
+		curve = curve.Scale(float64(presented) / float64(fed))
+	}
+	return curve, snap
+}
+
+// Reset clears the underlying monitor and the presented counter. Not safe
+// against concurrent Access; quiesce writers first.
+func (s *SampledUMON) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.u.Reset()
+	s.presented.Store(0)
+}

@@ -188,12 +188,25 @@ func (rec *Recorder) WindowStats(tailPercentile float64) []stats.WindowStat {
 
 // WindowSamples returns the raw per-window latency samples backing
 // WindowStats (nil when windowing is off), for exact phase pooling across
-// windows and application instances. Read-only.
+// windows and application instances. The samples are live: strictly
+// read-only, and not to be retained past the recorder's next Record — the
+// recorder keeps appending into them. Results that outlive the recorder must
+// use WindowSamplesCopy.
 func (rec *Recorder) WindowSamples() []*stats.Sample {
 	if rec.windows == nil {
 		return nil
 	}
 	return rec.windows.Samples()
+}
+
+// WindowSamplesCopy returns a deep copy of the per-window latency samples
+// (nil when windowing is off) that later Records cannot mutate — the safe
+// form for result structs that outlive the recorder or span a paused run.
+func (rec *Recorder) WindowSamplesCopy() []*stats.Sample {
+	if rec.windows == nil {
+		return nil
+	}
+	return rec.windows.SamplesCopy()
 }
 
 // WindowCycles returns the configured window width (0 when windowing is off).

@@ -234,3 +234,34 @@ func TestRecorderWindowedDisabled(t *testing.T) {
 		t.Errorf("plain statistics should still work: mean %v", rec.MeanLatency())
 	}
 }
+
+// TestRecorderWindowSamplesCopyIsolation pins that WindowSamplesCopy hands
+// out windows later Records cannot grow — the property result structs rely
+// on when a run pauses and resumes recording into the same recorder.
+func TestRecorderWindowSamplesCopyIsolation(t *testing.T) {
+	rec := NewRecorderWindowed(8, 1000)
+	rec.Record(&Request{ArrivalCycle: 100, StartCycle: 100, CompletionCycle: 300})
+
+	snap := rec.WindowSamplesCopy()
+	if len(snap) != 1 || snap[0].Len() != 1 {
+		t.Fatalf("copy shape wrong: %v", snap)
+	}
+
+	// Resume recording into the same arrival window and a new one.
+	rec.Record(&Request{ArrivalCycle: 200, StartCycle: 200, CompletionCycle: 900})
+	rec.Record(&Request{ArrivalCycle: 1500, StartCycle: 1500, CompletionCycle: 1600})
+
+	if snap[0].Len() != 1 || len(snap) != 1 {
+		t.Errorf("copied windows grew after later Records: %d windows, window0 len %d",
+			len(snap), snap[0].Len())
+	}
+	if live := rec.WindowSamples(); len(live) != 2 || live[0].Len() != 2 {
+		t.Errorf("live view should keep tracking: %v", live)
+	}
+	if rec.WindowSamplesCopy() == nil {
+		t.Errorf("windowed recorder should copy to non-nil once populated")
+	}
+	if NewRecorder(4).WindowSamplesCopy() != nil {
+		t.Errorf("unwindowed recorder must copy to nil")
+	}
+}

@@ -9,6 +9,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/cache"
 	"repro/internal/cpu"
@@ -173,6 +174,39 @@ func (c Config) Validate() error {
 // and have to share a warm-pool entry.
 func (c Config) PoolIdentity() Config {
 	c.IntraParallel = 0
+	return c
+}
+
+// IntraAutoWidth returns the speculation width one run should use when it is
+// one of outerWorkers simulations running concurrently: the machine's
+// processors divided evenly among the outer workers, at least 1. Sweeps that
+// fan runs out over a worker pool must budget this way — an IntraParallel of
+// 0 inside each of GOMAXPROCS outer workers would otherwise spin up
+// GOMAXPROCS² goroutines contending for the same cores.
+func IntraAutoWidth(outerWorkers int) int {
+	return intraAutoWidth(runtime.GOMAXPROCS(0), outerWorkers)
+}
+
+func intraAutoWidth(procs, outerWorkers int) int {
+	if outerWorkers < 1 {
+		outerWorkers = 1
+	}
+	w := procs / outerWorkers
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// WithIntraBudget caps the configuration's speculation width for a run that
+// shares the machine with outerWorkers-1 sibling runs. An explicit
+// IntraParallel is respected; only the auto setting (0) is resolved, so a
+// user pinning the width keeps it regardless of sweep shape. Results are
+// identical either way (IntraParallel is a pure wall-clock knob).
+func (c Config) WithIntraBudget(outerWorkers int) Config {
+	if c.IntraParallel == 0 {
+		c.IntraParallel = IntraAutoWidth(outerWorkers)
+	}
 	return c
 }
 

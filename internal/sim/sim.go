@@ -622,7 +622,10 @@ func (s *Simulator) collect() Result {
 			ar.ReuseBreakdown = a.reuse.Breakdown()
 			ar.Schedule = a.spec.Sched.String()
 			ar.Windows = a.recorder.WindowStats(s.cfg.TailPercentile)
-			ar.WindowSamples = a.recorder.WindowSamples()
+			// Deep copy: the recorder keeps recording if the run resumes
+			// (RunUntil), which would otherwise grow the result's windows
+			// after the fact.
+			ar.WindowSamples = a.recorder.WindowSamplesCopy()
 		}
 		res.Apps = append(res.Apps, ar)
 	}

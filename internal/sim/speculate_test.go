@@ -176,3 +176,60 @@ func TestColdRestartIntraParallel(t *testing.T) {
 		t.Errorf("cold-restarted run digest differs: IntraParallel=4 %#x vs serial %#x", got, want)
 	}
 }
+
+func TestIntraAutoWidth(t *testing.T) {
+	cases := []struct {
+		procs, outer, want int
+	}{
+		{8, 8, 1}, // full outer fan-out: serial inside each run
+		{8, 4, 2},
+		{8, 3, 2},
+		{8, 2, 4},
+		{8, 1, 8}, // one run gets the whole machine
+		{8, 0, 8}, // outer < 1 treated as 1
+		{4, 8, 1}, // more workers than cores: never below 1
+		{1, 1, 1},
+		{1, 16, 1},
+	}
+	for _, tc := range cases {
+		if got := intraAutoWidth(tc.procs, tc.outer); got != tc.want {
+			t.Errorf("intraAutoWidth(%d, %d) = %d, want %d", tc.procs, tc.outer, got, tc.want)
+		}
+	}
+}
+
+// TestIntraAutoWidthNeverOversubscribes is the property behind the sweep
+// call sites: for any machine size and outer worker count, the total worker
+// goroutines (outer runs × per-run speculation width) stay within the
+// machine, except that each of the outer workers always gets at least one.
+func TestIntraAutoWidthNeverOversubscribes(t *testing.T) {
+	for procs := 1; procs <= 64; procs++ {
+		for outer := 1; outer <= 64; outer++ {
+			total := outer * intraAutoWidth(procs, outer)
+			limit := procs
+			if outer > limit {
+				limit = outer
+			}
+			if total > limit {
+				t.Fatalf("procs=%d outer=%d: %d total workers > %d", procs, outer, total, limit)
+			}
+		}
+	}
+}
+
+func TestWithIntraBudget(t *testing.T) {
+	cfg := DefaultConfig()
+	if got := cfg.WithIntraBudget(1).IntraParallel; got != IntraAutoWidth(1) {
+		t.Errorf("auto config budgeted to %d, want %d", got, IntraAutoWidth(1))
+	}
+	// An explicit width is the user's call; budgeting must not override it.
+	cfg.IntraParallel = 3
+	if got := cfg.WithIntraBudget(64).IntraParallel; got != 3 {
+		t.Errorf("explicit width overridden to %d", got)
+	}
+	// Budgeting is a wall-clock knob: pool identity is unchanged.
+	a := DefaultConfig()
+	if a.WithIntraBudget(4).PoolIdentity() != a.PoolIdentity() {
+		t.Error("WithIntraBudget changed the pool identity")
+	}
+}

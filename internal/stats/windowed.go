@@ -71,8 +71,28 @@ func (w *Windowed) Add(cycle uint64, v float64) {
 
 // Samples returns the per-window samples, indexed by window number; entries
 // are nil for windows that received no observations. The slice and samples
-// are live — callers must treat them as read-only.
+// are live — callers must treat them as strictly read-only AND must not
+// retain them past the collector's next Add: the collector keeps recording
+// into the same Sample values, so a retained window silently grows. Results
+// that outlive the collector (or a run that resumes recording) must use
+// SamplesCopy instead.
 func (w *Windowed) Samples() []*Sample { return w.samples }
+
+// SamplesCopy returns a deep copy of the per-window samples: a fresh slice of
+// fresh Samples that later Adds to the collector cannot mutate. Use this when
+// handing window samples out in a result struct.
+func (w *Windowed) SamplesCopy() []*Sample {
+	if w.samples == nil {
+		return nil
+	}
+	out := make([]*Sample, len(w.samples))
+	for i, s := range w.samples {
+		if s != nil {
+			out[i] = s.Clone()
+		}
+	}
+	return out
+}
 
 // Stats summarises every window from 0 through the last one that received an
 // observation (empty windows appear with Count 0, keeping the series aligned

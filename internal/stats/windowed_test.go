@@ -90,3 +90,51 @@ func TestPoolWindows(t *testing.T) {
 		t.Errorf("phase pooling over a subrange wrong: len %d min %v", sub.Len(), sub.Min())
 	}
 }
+
+// TestSamplesCopyIsolation pins that SamplesCopy detaches the result from
+// the collector: further Adds (including ones that extend the window slice)
+// must not be visible through a previously taken copy, while the live
+// Samples view keeps tracking.
+func TestSamplesCopyIsolation(t *testing.T) {
+	w := NewWindowed(100)
+	w.Add(10, 1)
+	w.Add(20, 2)
+
+	snap := w.SamplesCopy()
+	live := w.Samples()
+
+	// Grow window 0 and open window 3 after the copy was taken.
+	w.Add(30, 3)
+	w.Add(350, 9)
+
+	if len(snap) != 1 || snap[0].Len() != 2 {
+		t.Fatalf("copy mutated by later Adds: %d windows, window0 len %d (want 1, 2)",
+			len(snap), snap[0].Len())
+	}
+	if live[0].Len() != 3 {
+		t.Errorf("live view should track later Adds: window0 len %d, want 3", live[0].Len())
+	}
+	if got := snap[0].Mean(); got != 1.5 {
+		t.Errorf("copied window 0 mean = %v, want 1.5", got)
+	}
+
+	// And the reverse: mutating the copy must not leak into the collector.
+	snap[0].Add(1000)
+	if w.Samples()[0].Len() != 3 {
+		t.Errorf("mutating the copy leaked into the collector")
+	}
+}
+
+// TestSamplesCopyNilHandling pins the edge shapes: an untouched collector
+// copies to nil, and nil (empty) windows stay nil in the copy.
+func TestSamplesCopyNilHandling(t *testing.T) {
+	w := NewWindowed(100)
+	if w.SamplesCopy() != nil {
+		t.Errorf("empty collector should copy to nil")
+	}
+	w.Add(250, 1) // windows 0 and 1 exist but are nil
+	snap := w.SamplesCopy()
+	if len(snap) != 3 || snap[0] != nil || snap[1] != nil || snap[2] == nil {
+		t.Errorf("nil windows must stay nil in the copy: %v", snap)
+	}
+}
