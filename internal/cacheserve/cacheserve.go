@@ -53,7 +53,8 @@ func (r Reason) String() string {
 
 // Eviction describes one entry removed by the cache itself (quota pressure
 // or TTL); explicit Deletes are not reported. Value aliases the stored
-// buffer and must be treated as read-only.
+// buffer and must be treated as read-only; like Get results it is a stable
+// snapshot (stored buffers are never rewritten in place).
 type Eviction struct {
 	Tenant int
 	Key    string
@@ -390,9 +391,6 @@ func (c *Cache) Set(tenant int, key string, value []byte, ttl time.Duration) err
 		return err
 	}
 	h := hashKey(tenant, key)
-	if c.feeds != nil {
-		c.feeds[tenant].Access(h)
-	}
 	size := EntrySize(key, value)
 	var expireAt int64
 	if ttl == 0 {
@@ -413,7 +411,10 @@ func (c *Cache) Set(tenant int, key string, value []byte, ttl time.Duration) err
 	ts.sets++
 	if e, ok := ts.items[key]; ok {
 		ts.bytes += size - e.size
-		e.value = append(e.value[:0], value...)
+		// Install a fresh buffer rather than rewriting the old one in place:
+		// slices handed out by earlier Gets alias the old buffer and may
+		// still be read concurrently with this Set.
+		e.value = append([]byte(nil), value...)
 		e.size = size
 		e.expireAt = expireAt
 		ts.moveFront(e)
@@ -430,14 +431,21 @@ func (c *Cache) Set(tenant int, key string, value []byte, ttl time.Duration) err
 		evicted = append(evicted, victim)
 	}
 	sh.mu.Unlock()
+	// The UMON is fed only for admitted sets, so rejected oversized entries
+	// do not shape the governed miss curve.
+	if c.feeds != nil {
+		c.feeds[tenant].Access(h)
+	}
 	c.report(tenant, evicted, ReasonCapacity)
 	return nil
 }
 
 // Get returns the value stored under (tenant, key). The returned slice
-// aliases the cache's internal buffer and must be treated as read-only; it
-// stays valid until the key is overwritten. An expired entry is removed
-// (counted as a miss and an expiry) on the way.
+// aliases the cache's internal buffer and must be treated as read-only, but
+// it is a stable snapshot: the cache never rewrites a stored buffer in place
+// (an overwrite installs a fresh one), so the slice stays coherent even if
+// the key is overwritten or evicted after the call. An expired entry is
+// removed (counted as a miss and an expiry) on the way.
 func (c *Cache) Get(tenant int, key string) ([]byte, bool) {
 	if c.checkTenant(tenant) != nil {
 		return nil, false

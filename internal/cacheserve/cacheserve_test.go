@@ -129,6 +129,25 @@ func TestSetCopiesValue(t *testing.T) {
 	}
 }
 
+func TestGetResultStableAcrossOverwrite(t *testing.T) {
+	// A Get result is a snapshot: an overwrite must install a fresh buffer,
+	// never rewrite the one earlier readers still hold.
+	c := mustNew(t, testConfig(nil))
+	if err := c.Set(0, "k", []byte("before"), 0); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := c.Get(0, "k")
+	if !ok {
+		t.Fatal("Get missed")
+	}
+	if err := c.Set(0, "k", []byte("after!"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "before" {
+		t.Fatalf("earlier Get result mutated by overwrite: %q", v)
+	}
+}
+
 func TestTenantRangeChecks(t *testing.T) {
 	c := mustNew(t, testConfig(nil))
 	if err := c.Set(2, "k", nil, 0); err == nil {
@@ -297,6 +316,27 @@ func TestSetRejectsOversizedEntry(t *testing.T) {
 	}
 }
 
+func TestRejectedSetDoesNotFeedUMON(t *testing.T) {
+	c := mustNew(t, testConfig(func(cfg *Config) {
+		cfg.SampleRate = 1
+		cfg.Shards = 1
+		cfg.CapacityBytes = 4096
+		cfg.Tenants = []TenantConfig{{Name: "only"}}
+	}))
+	if err := c.Set(0, "huge", make([]byte, 1<<20), 0); err != ErrTooLarge {
+		t.Fatalf("Set oversized = %v, want ErrTooLarge", err)
+	}
+	if got := c.Feed(0).Presented(); got != 0 {
+		t.Fatalf("rejected Set fed the UMON %d accesses", got)
+	}
+	if err := c.Set(0, "ok", []byte("v"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Feed(0).Presented(); got != 1 {
+		t.Fatalf("admitted Set fed %d accesses, want 1", got)
+	}
+}
+
 func TestEvictionCallbackLRUOrder(t *testing.T) {
 	var order []string
 	c := mustNew(t, testConfig(func(cfg *Config) {
@@ -391,7 +431,7 @@ func TestSamplingFeedsUMON(t *testing.T) {
 	if c.Feed(1).Presented() != 0 {
 		t.Fatal("idle tenant's feed saw accesses")
 	}
-	curve := feed.MissCurve(monitor.UMONSnapshot{})
+	curve := feed.MissCurve(monitor.SampledSnapshot{})
 	if curve.Accesses != 200 {
 		t.Fatalf("curve accesses = %v, want 200", curve.Accesses)
 	}

@@ -40,19 +40,32 @@ func TestConcurrentMixedOps(t *testing.T) {
 
 	workers := 8
 	var wg sync.WaitGroup
-	var setErrs atomic.Uint64
+	var setErrs, tornReads atomic.Uint64
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(seed int64) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
+			// Each worker writes its own fill byte so a Get that observes a
+			// mixed buffer has seen a torn (in-place) overwrite — and reading
+			// every returned byte gives -race a window onto the stored buffer.
 			val := make([]byte, 64)
+			for i := range val {
+				val[i] = byte(seed)
+			}
 			for i := 0; i < ops; i++ {
 				tenant := rng.Intn(c.NumTenants())
 				key := fmt.Sprintf("key-%d", rng.Intn(keys))
 				switch op := rng.Intn(10); {
 				case op < 5:
-					c.Get(tenant, key)
+					if v, ok := c.Get(tenant, key); ok {
+						for _, b := range v {
+							if b != v[0] {
+								tornReads.Add(1)
+								break
+							}
+						}
+					}
 				case op < 8:
 					if err := c.Set(tenant, key, val, 0); err != nil {
 						setErrs.Add(1)
@@ -72,6 +85,9 @@ func TestConcurrentMixedOps(t *testing.T) {
 	gov.Stop()
 	c.Close()
 
+	if n := tornReads.Load(); n > 0 {
+		t.Fatalf("%d Get results held a torn value (in-place overwrite)", n)
+	}
 	if n := setErrs.Load(); n > 0 {
 		// ErrTooLarge can only fire if a governor epoch shrank a quota below
 		// one 129-byte entry per shard; the MinTenantBytes floor (8MiB/256 =
@@ -94,21 +110,34 @@ func TestConcurrentMixedOps(t *testing.T) {
 }
 
 // TestConcurrentSingleKeyChurn hammers one key from many goroutines so -race
-// can see any unsynchronised access to a single entry's fields.
+// can see any unsynchronised access to a single entry's fields — including
+// the value buffer itself, which every reader scans end to end while other
+// workers overwrite the key.
 func TestConcurrentSingleKeyChurn(t *testing.T) {
 	c := mustNew(t, testConfig(func(cfg *Config) { cfg.SampleRate = 0.5 }))
 	var wg sync.WaitGroup
+	var tornReads atomic.Uint64
 	for w := 0; w < 8; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			val := []byte{byte(w)}
+			val := make([]byte, 32)
+			for i := range val {
+				val[i] = byte(w)
+			}
 			for i := 0; i < 20_000; i++ {
 				switch i % 3 {
 				case 0:
 					c.Set(0, "hot", val, 0)
 				case 1:
-					c.Get(0, "hot")
+					if v, ok := c.Get(0, "hot"); ok {
+						for _, b := range v {
+							if b != v[0] {
+								tornReads.Add(1)
+								break
+							}
+						}
+					}
 				default:
 					c.Delete(0, "hot")
 				}
@@ -116,6 +145,9 @@ func TestConcurrentSingleKeyChurn(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
+	if n := tornReads.Load(); n > 0 {
+		t.Fatalf("%d Get results held a torn value (in-place overwrite)", n)
+	}
 	if err := c.checkInvariants(); err != nil {
 		t.Fatal(err)
 	}

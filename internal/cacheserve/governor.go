@@ -27,7 +27,8 @@ type Governor struct {
 	cfg   GovernorConfig
 
 	mu       sync.Mutex // serialises Step against itself and Start/Stop
-	lastSnap []monitor.UMONSnapshot
+	lastSnap []monitor.SampledSnapshot
+	lcFloor  []int64 // per-tenant TargetBytes for LC tenants, 0 for batch
 	epochs   uint64
 
 	stop chan struct{}
@@ -81,11 +82,18 @@ func NewGovernor(c *Cache, pol policy.Policy, cfg GovernorConfig) (*Governor, er
 		return nil, fmt.Errorf("cacheserve: MinTenantBytes %d × %d tenants exceeds capacity %d",
 			cfg.MinTenantBytes, c.NumTenants(), c.cfg.CapacityBytes)
 	}
+	lcFloor := make([]int64, c.NumTenants())
+	for t := range lcFloor {
+		if tc := c.Tenant(t); tc.LatencyCritical {
+			lcFloor[t] = tc.TargetBytes
+		}
+	}
 	return &Governor{
 		cache:    c,
 		pol:      pol,
 		cfg:      cfg,
-		lastSnap: make([]monitor.UMONSnapshot, c.NumTenants()),
+		lastSnap: make([]monitor.SampledSnapshot, c.NumTenants()),
+		lcFloor:  lcFloor,
 	}, nil
 }
 
@@ -148,7 +156,7 @@ func (g *Governor) step() ([]int64, error) {
 			LCTargetLines:      uint64(tc.TargetBytes / lineBytes),
 			DeadlineCycles:     g.cfg.EpochCycles,
 			Misses:             stats[t].Misses,
-			Snap:               g.lastSnap[t],
+			Snap:               g.lastSnap[t].UMON,
 		}
 	}
 	g.epochs++
@@ -160,7 +168,7 @@ func (g *Governor) step() ([]int64, error) {
 	}
 	policy.ApplyResizes(targets, g.pol.Reconfigure(view))
 
-	quotas := normalizeQuotas(targets, lineBytes, c.cfg.CapacityBytes, g.cfg.MinTenantBytes)
+	quotas := normalizeQuotas(targets, lineBytes, c.cfg.CapacityBytes, g.cfg.MinTenantBytes, g.lcFloor)
 	if err := c.SetQuotas(quotas); err != nil {
 		return nil, err
 	}
@@ -171,29 +179,58 @@ func (g *Governor) step() ([]int64, error) {
 // minBytes, and scales the part above the floors down proportionally when
 // the total exceeds capacity (policies emit targets that sum to at most the
 // line capacity, but flooring and byte rounding can push past it).
-func normalizeQuotas(targets []uint64, lineBytes, capacity, minBytes int64) []int64 {
+//
+// When scaling down, a latency-critical tenant's floor is raised to
+// min(grant, max(minBytes, lcFloor[i])): an LC reserve the policy granted is
+// never shaved below its target by other tenants' rounding pressure, but a
+// grant the policy already left below target is not boosted either. lcFloor
+// may be nil (no LC protection); if the raised floors alone exceed capacity
+// (over-subscribed LC targets), the LC floors are dropped and everything
+// scales above minBytes as before, so the result always fits.
+func normalizeQuotas(targets []uint64, lineBytes, capacity, minBytes int64, lcFloor []int64) []int64 {
 	quotas := make([]int64, len(targets))
-	var floors, above int64
+	var total int64
 	for i, t := range targets {
 		q := int64(t) * lineBytes
 		if q < minBytes {
 			q = minBytes
 		}
 		quotas[i] = q
-		floors += minBytes
-		above += q - minBytes
+		total += q
 	}
-	total := floors + above
-	if total <= capacity || above == 0 {
+	if total <= capacity {
 		return quotas
 	}
-	spare := capacity - floors
+	floors := make([]int64, len(quotas))
+	setFloors := func(useLC bool) (sumFloors, above int64) {
+		for i, q := range quotas {
+			f := minBytes
+			if useLC && lcFloor != nil && lcFloor[i] > f {
+				f = lcFloor[i]
+			}
+			if f > q {
+				f = q
+			}
+			floors[i] = f
+			sumFloors += f
+			above += q - f
+		}
+		return sumFloors, above
+	}
+	sumFloors, above := setFloors(true)
+	if sumFloors > capacity {
+		sumFloors, above = setFloors(false)
+	}
+	if above == 0 {
+		return quotas
+	}
+	spare := capacity - sumFloors
 	if spare < 0 {
 		spare = 0
 	}
 	for i := range quotas {
-		excess := quotas[i] - minBytes
-		quotas[i] = minBytes + int64(float64(excess)*float64(spare)/float64(above))
+		excess := quotas[i] - floors[i]
+		quotas[i] = floors[i] + int64(float64(excess)*float64(spare)/float64(above))
 	}
 	return quotas
 }

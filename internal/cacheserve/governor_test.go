@@ -261,7 +261,7 @@ func TestGovernorStartStop(t *testing.T) {
 
 func TestNormalizeQuotas(t *testing.T) {
 	// Over-capacity targets are scaled down above the floors; totals fit.
-	quotas := normalizeQuotas([]uint64{100, 100}, 64, 8000, 1000)
+	quotas := normalizeQuotas([]uint64{100, 100}, 64, 8000, 1000, nil)
 	var sum int64
 	for _, q := range quotas {
 		if q < 1000 {
@@ -273,8 +273,36 @@ func TestNormalizeQuotas(t *testing.T) {
 		t.Fatalf("normalized quotas sum to %d > 8000", sum)
 	}
 	// Under-capacity targets pass through (modulo flooring).
-	quotas = normalizeQuotas([]uint64{10, 20}, 64, 1<<20, 0)
+	quotas = normalizeQuotas([]uint64{10, 20}, 64, 1<<20, 0, nil)
 	if quotas[0] != 640 || quotas[1] != 1280 {
 		t.Fatalf("pass-through quotas = %v", quotas)
+	}
+}
+
+func TestNormalizeQuotasProtectsLCReserve(t *testing.T) {
+	// Both tenants were granted 4096B (64 lines × 64B), capacity 6000: the
+	// scale-down must come entirely out of the batch tenant, never shaving
+	// the LC tenant's granted reserve below its 4096B target.
+	quotas := normalizeQuotas([]uint64{64, 64}, 64, 6000, 1000, []int64{4096, 0})
+	if quotas[0] != 4096 {
+		t.Fatalf("LC reserve shaved to %d, want 4096", quotas[0])
+	}
+	if quotas[0]+quotas[1] > 6000 {
+		t.Fatalf("quotas sum to %d > 6000", quotas[0]+quotas[1])
+	}
+	if quotas[1] < 1000 {
+		t.Fatalf("batch tenant %d below MinTenantBytes floor", quotas[1])
+	}
+	// A grant the policy already left below target is not boosted: the LC
+	// floor protects only what was granted.
+	quotas = normalizeQuotas([]uint64{32, 96}, 64, 6000, 1000, []int64{4096, 0})
+	if quotas[0] > 32*64 {
+		t.Fatalf("LC grant boosted from %d to %d", 32*64, quotas[0])
+	}
+	// Over-subscribed LC floors fall back to minBytes floors so the result
+	// still fits capacity.
+	quotas = normalizeQuotas([]uint64{64, 64}, 64, 6000, 1000, []int64{4096, 4096})
+	if quotas[0]+quotas[1] > 6000 {
+		t.Fatalf("oversubscribed LC floors: quotas sum to %d > 6000", quotas[0]+quotas[1])
 	}
 }

@@ -74,6 +74,14 @@ func (s *SampledUMON) Access(addr uint64) {
 	s.mu.Unlock()
 }
 
+// SampledSnapshot pairs the wrapped monitor's counters with the feed's
+// presented count at the same instant, so a windowed curve can be scaled by
+// its own window's presented/fed delta rather than the lifetime ratio.
+type SampledSnapshot struct {
+	UMON      UMONSnapshot
+	Presented uint64
+}
+
 // Snapshot returns the underlying monitor's counters, for windowed curve
 // queries via MissCurve.
 func (s *SampledUMON) Snapshot() UMONSnapshot {
@@ -85,27 +93,35 @@ func (s *SampledUMON) Snapshot() UMONSnapshot {
 // MissCurve returns the miss curve accumulated since the snapshot, scaled
 // from the sampled stride stream up to the full presented stream. Pass a
 // zero-valued snapshot for the curve since construction.
-func (s *SampledUMON) MissCurve(since UMONSnapshot) MissCurve {
+func (s *SampledUMON) MissCurve(since SampledSnapshot) MissCurve {
 	curve, _ := s.CurveAndSnapshot(since)
 	return curve
 }
 
 // CurveAndSnapshot returns the miss curve accumulated since the given
-// snapshot together with the counter snapshot the curve runs up to, read
-// under one lock so an epoch-driven caller loses no accesses between its
-// curve windows.
-func (s *SampledUMON) CurveAndSnapshot(since UMONSnapshot) (MissCurve, UMONSnapshot) {
-	presented := s.presented.Load()
+// snapshot together with the snapshot the curve runs up to, read under one
+// lock so an epoch-driven caller loses no accesses between its curve
+// windows.
+func (s *SampledUMON) CurveAndSnapshot(since SampledSnapshot) (MissCurve, SampledSnapshot) {
 	s.mu.Lock()
-	curve := s.u.MissCurve(since)
-	snap := s.u.Snapshot()
-	fed := s.u.AccessesSince(UMONSnapshot{})
+	// presented is read while holding the feed lock: every forwarded access
+	// bumps presented before taking the lock, so presented >= fed here and a
+	// concurrent Access cannot make the window see more fed than presented.
+	presented := s.presented.Load()
+	curve := s.u.MissCurve(since.UMON)
+	snap := SampledSnapshot{UMON: s.u.Snapshot(), Presented: presented}
+	fed := s.u.AccessesSince(since.UMON)
 	s.mu.Unlock()
 	// The snapshot delta is a window of the fed stream; project it onto the
-	// presented stream with the global presented/fed ratio (exact for a
-	// constant stride, approximate only around the window edges).
-	if fed > 0 && presented > fed {
-		curve = curve.Scale(float64(presented) / float64(fed))
+	// presented stream by this window's own presented/fed delta (exact up to
+	// stride alignment at the window edges, even when earlier windows ran at
+	// a different effective rate).
+	var presWindow uint64
+	if presented > since.Presented {
+		presWindow = presented - since.Presented
+	}
+	if fed > 0 && presWindow > fed {
+		curve = curve.Scale(float64(presWindow) / float64(fed))
 	}
 	return curve, snap
 }

@@ -77,7 +77,7 @@ func TestSampledUMONScalesCurveToPresentedStream(t *testing.T) {
 	for i := 0; i < 10_000; i++ {
 		s.Access(uint64(i % 97)) // small reusable set
 	}
-	curve, snap := s.CurveAndSnapshot(UMONSnapshot{})
+	curve, snap := s.CurveAndSnapshot(SampledSnapshot{})
 	// The curve is projected onto the presented stream: its access count must
 	// match what was presented, not the 1-in-10 fed stream.
 	if got := curve.Accesses; got < 9000 || got > 11000 {
@@ -88,6 +88,30 @@ func TestSampledUMONScalesCurveToPresentedStream(t *testing.T) {
 	curve2, _ := s.CurveAndSnapshot(snap)
 	if curve2.Accesses != 0 {
 		t.Fatalf("empty window has %v accesses", curve2.Accesses)
+	}
+}
+
+func TestSampledUMONScalesWindowByItsOwnDelta(t *testing.T) {
+	u := newFeedUMON(t)
+	s, err := NewSampledUMON(u, 0.1) // stride 10
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First window: 15 presented, 1 fed (at n=10). The stride is half-way
+	// through its next period when the snapshot is taken.
+	for i := 0; i < 15; i++ {
+		s.Access(uint64(i))
+	}
+	_, snap := s.CurveAndSnapshot(SampledSnapshot{})
+	// Second window: 10 presented, 1 fed (at n=20). Scaling by this window's
+	// own presented/fed delta gives exactly 10 accesses; the lifetime ratio
+	// (25/2 = 12.5) would misattribute the first window's stride phase.
+	for i := 0; i < 10; i++ {
+		s.Access(uint64(i))
+	}
+	curve, _ := s.CurveAndSnapshot(snap)
+	if curve.Accesses != 10 {
+		t.Fatalf("window curve accesses = %v, want 10 (per-window scaling)", curve.Accesses)
 	}
 }
 
@@ -106,7 +130,7 @@ func TestSampledUMONConcurrentAccess(t *testing.T) {
 			for i := 0; i < per; i++ {
 				s.Access(uint64(w*per + i))
 				if i%1000 == 0 {
-					s.MissCurve(UMONSnapshot{}) // concurrent reader
+					s.MissCurve(SampledSnapshot{}) // concurrent reader
 				}
 			}
 		}(w)
