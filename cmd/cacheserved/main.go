@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"strconv"
@@ -29,6 +31,7 @@ import (
 
 	"repro/internal/cacheserve"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/stats"
 )
@@ -118,6 +121,9 @@ func run(args []string, out io.Writer) error {
 		goroutines = fs.Int("goroutines", runtime.GOMAXPROCS(0), "concurrent load goroutines")
 		setFrac    = fs.Float64("setfrac", 0.1, "fraction of operations that are writes")
 		seed       = fs.Int64("seed", 1, "workload RNG seed")
+		httpAddr   = fs.String("http", "", "serve /metrics, /debug/tenants and /debug/pprof on this address (e.g. :8080; empty = off)")
+		linger     = fs.Duration("linger", 0, "with -http: keep serving this long after the load completes")
+		sweep      = fs.Duration("sweep", 0, "background expiry sweep interval (0 = lazy expiry only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -141,10 +147,16 @@ func run(args []string, out io.Writer) error {
 	for i, s := range specs {
 		tcfgs[i] = s.cfg
 	}
+	var reg *metrics.Registry
+	if *httpAddr != "" {
+		reg = metrics.NewRegistry()
+	}
 	cache, err := cacheserve.New(cacheserve.Config{
 		CapacityBytes: capBytes,
 		Shards:        *shards,
 		SampleRate:    *sample,
+		SweepInterval: *sweep,
+		Metrics:       reg,
 		Tenants:       tcfgs,
 	})
 	if err != nil {
@@ -164,6 +176,20 @@ func run(args []string, out io.Writer) error {
 	gov, err := cacheserve.NewGovernor(cache, pol, cacheserve.GovernorConfig{Epoch: *epoch})
 	if err != nil {
 		return err
+	}
+
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: cacheserve.NewHTTPHandler(cache, gov, reg)}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Fprintf(out, "serving /metrics, /debug/tenants, /debug/pprof on http://%s\n", ln.Addr())
+		if testHookHTTPStarted != nil {
+			testHookHTTPStarted(ln.Addr().String())
+		}
 	}
 
 	// Pre-render every tenant's key space so formatting stays off the hot path.
@@ -283,8 +309,27 @@ func run(args []string, out io.Writer) error {
 			s.cfg.Name, tenantOps[t], hitPct, p50, p95, p99,
 			cstats[t].CapacityEvictions, startQuotas[t], endQuotas[t])
 	}
+
+	if *httpAddr != "" && *linger > 0 {
+		// Keep the observability endpoints (and the governor: the cache still
+		// serves, even if the synthetic load is done) up for scrapes.
+		fmt.Fprintf(out, "lingering %v for scrapes\n", *linger)
+		gov.Start()
+		select {
+		case <-time.After(*linger):
+		case <-testLingerInterrupt:
+		}
+		gov.Stop()
+	}
 	return nil
 }
+
+// Test seams: main_test scrapes the live endpoints through these. Both are
+// nil/never-closed in production.
+var (
+	testHookHTTPStarted func(addr string)
+	testLingerInterrupt chan struct{}
+)
 
 // quotaVector snapshots every tenant's byte quota.
 func quotaVector(c *cacheserve.Cache) []int64 {

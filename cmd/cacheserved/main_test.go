@@ -1,8 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"net/http"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestParseSize(t *testing.T) {
@@ -80,6 +85,102 @@ func TestRunUCP(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "policy UCP") {
 		t.Fatalf("output missing policy name:\n%s", out.String())
+	}
+}
+
+// syncWriter makes the output buffer safe against the test goroutine reading
+// while run's goroutine writes.
+type syncWriter struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sb.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sb.String()
+}
+
+// TestRunServesObservability is the in-process version of the CI e2e step:
+// start cacheserved with -http, scrape /metrics and /debug/tenants while it
+// lingers, then cut the linger short.
+func TestRunServesObservability(t *testing.T) {
+	addrCh := make(chan string, 1)
+	testHookHTTPStarted = func(addr string) { addrCh <- addr }
+	testLingerInterrupt = make(chan struct{})
+	defer func() {
+		testHookHTTPStarted = nil
+		testLingerInterrupt = nil
+	}()
+
+	var out syncWriter
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run([]string{
+			"-capacity", "4m", "-ops", "40000", "-keys", "5000",
+			"-goroutines", "2", "-sample", "1", "-epoch", "5ms",
+			"-sweep", "10ms", "-http", "127.0.0.1:0", "-linger", "30s",
+		}, &out)
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-errCh:
+		t.Fatalf("run exited before serving: %v\n%s", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for the HTTP listener")
+	}
+
+	// The load may still be running; both endpoints must serve regardless.
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, family := range []string{"cacheserve_ops_total", "cacheserve_tenant_hits_total", "governor_epochs_total"} {
+		if !strings.Contains(string(body), family) {
+			t.Errorf("/metrics missing family %s", family)
+		}
+	}
+
+	resp, err = http.Get("http://" + addr + "/debug/tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload struct {
+		Tenants []struct {
+			Name       string `json:"name"`
+			QuotaBytes int64  `json:"quota_bytes"`
+		} `json:"tenants"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&payload)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/debug/tenants decode: %v", err)
+	}
+	if len(payload.Tenants) != 2 || payload.Tenants[0].QuotaBytes <= 0 {
+		t.Fatalf("/debug/tenants payload = %+v", payload)
+	}
+
+	close(testLingerInterrupt)
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not exit after linger interrupt")
+	}
+	if !strings.Contains(out.String(), "serving /metrics") {
+		t.Errorf("output missing serving banner:\n%s", out.String())
 	}
 }
 

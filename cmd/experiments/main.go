@@ -36,6 +36,7 @@ import (
 	"repro/internal/prof"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -51,7 +52,7 @@ func main() {
 // run is the testable entry point: it parses args, runs the selected
 // experiments, and writes their tables to stdout. Errors come back to the
 // caller (main maps them to exit status 1).
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -76,6 +77,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		noHier       = fs.Bool("nohier", false, "disable the private L1/L2 levels entirely (flat pre-hierarchy LLC)")
 		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile   = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		tracePath    = fs.String("trace", "", "with -scenario: write a Chrome trace-event JSON file recording the scheme runs' simulator events (see ubiksim -trace)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -83,7 +85,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		return fmt.Errorf("invalid arguments (details above)") // the FlagSet already reported specifics
 	}
-	defer prof.Start(*cpuProfile, *memProfile)()
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		// A truncated profile must fail the run, but never mask a run error.
+		if perr := stopProf(); retErr == nil {
+			retErr = perr
+		}
+	}()
 	if *csv && *jsonOut {
 		return fmt.Errorf("-csv and -json are mutually exclusive; pick one output format")
 	}
@@ -98,11 +109,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return runScenario(stdout, scenarioArgs{
 			path: *scenarioPath, reportDir: *reportDir, validateOnly: *validate,
 			parallelism: *parallelism, warmReuse: *warmReuse && !*noWarmReuse,
-			csv: *csv, jsonOut: *jsonOut,
+			csv: *csv, jsonOut: *jsonOut, tracePath: *tracePath,
 		})
 	}
 	if *reportDir != "" || *validate {
 		return fmt.Errorf("-report and -validate only apply to -scenario runs")
+	}
+	if *tracePath != "" {
+		// The paper experiments fan out over dozens of internal runs with no
+		// stable per-run identity to label trace rows with; the scenario
+		// engine is the traced path.
+		return fmt.Errorf("-trace only applies to -scenario runs")
 	}
 
 	if *list {
@@ -318,6 +335,7 @@ type scenarioArgs struct {
 	parallelism     int
 	warmReuse       bool
 	csv, jsonOut    bool
+	tracePath       string
 }
 
 // runScenario is the -scenario entry point: parse (and maybe just validate)
@@ -345,7 +363,11 @@ func runScenario(stdout io.Writer, a scenarioArgs) error {
 	if a.warmReuse {
 		pool = sim.NewWarmPool()
 	}
-	out, err := experiment.RunScenario(spec, workers, pool, nil)
+	var rec *trace.Recorder
+	if a.tracePath != "" {
+		rec = trace.NewRecorder(0)
+	}
+	out, err := experiment.RunScenarioTraced(spec, workers, pool, nil, rec)
 	if err != nil {
 		return err
 	}
@@ -372,6 +394,23 @@ func runScenario(stdout io.Writer, a scenarioArgs) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "report written: %s, %s\n", htmlPath, csvPath)
+	}
+	if rec != nil {
+		f, err := os.Create(a.tracePath)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteChromeJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing trace %s: %w", a.tracePath, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "trace: %d events written to %s\n", rec.Len(), a.tracePath)
+		if d := rec.Dropped(); d > 0 {
+			fmt.Fprintf(stdout, "trace: ring full, oldest %d events dropped\n", d)
+		}
 	}
 	return nil
 }

@@ -39,6 +39,7 @@ import (
 	"repro/internal/prof"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -63,7 +64,7 @@ var specFlags = []string{
 // -scenario file) to a scenario spec, runs it, and writes human-readable
 // results to stdout. Errors come back to the caller (main maps them to exit
 // status 1).
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("ubiksim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -92,6 +93,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		noHier       = fs.Bool("nohier", false, "disable the private L1/L2 levels entirely (flat pre-hierarchy LLC)")
 		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile   = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		tracePath    = fs.String("trace", "", "write a Chrome trace-event JSON file (open in chrome://tracing or ui.perfetto.dev) recording scheduler quanta, reconfigurations, fault activations and speculation events of every scheme run; recording is observational, results are identical with or without it")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -99,7 +101,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		return fmt.Errorf("invalid arguments (details above)") // the FlagSet already reported specifics
 	}
-	defer prof.Start(*cpuProfile, *memProfile)()
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		// A truncated profile must fail the run, but never mask a run error.
+		if perr := stopProf(); retErr == nil {
+			retErr = perr
+		}
+	}()
 	explicit := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	workers := *parallelism
@@ -146,13 +157,40 @@ func run(args []string, stdout, stderr io.Writer) error {
 	_, _ = *warmReuse, *noWarmReuse
 	var pool *sim.WarmPool
 
+	var rec *trace.Recorder
+	if *tracePath != "" {
+		rec = trace.NewRecorder(0)
+	}
 	progress := func(format string, a ...any) { fmt.Fprintf(stdout, format, a...) }
-	out, err := experiment.RunScenario(spec, workers, pool, progress)
+	out, err := experiment.RunScenarioTraced(spec, workers, pool, progress, rec)
 	if err != nil {
 		return err
 	}
 	printOutcome(stdout, out)
+	if rec != nil {
+		if err := writeTrace(*tracePath, rec); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\ntrace: %d events written to %s", rec.Len(), *tracePath)
+		if d := rec.Dropped(); d > 0 {
+			fmt.Fprintf(stdout, " (%d oldest events dropped by ring wrap)", d)
+		}
+		fmt.Fprintln(stdout)
+	}
 	return nil
+}
+
+// writeTrace exports the recorder as Chrome trace-event JSON.
+func writeTrace(path string, rec *trace.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteChromeJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing trace %s: %w", path, err)
+	}
+	return f.Close()
 }
 
 // flagSpec carries the flag values specFromFlags lowers to a scenario.

@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/monitor"
 )
 
@@ -110,6 +111,12 @@ type Config struct {
 	UMONWays, UMONSampleSets int
 	// Tenants declares the tenants (at least one).
 	Tenants []TenantConfig
+	// Metrics, when set, registers the cache's metric families (see
+	// metrics.go and DESIGN.md §12) in the registry and keeps them current:
+	// hot-path per-shard op counters, plus per-tenant families synced from
+	// the authoritative counters at every scrape. Instrumented Get/Set stay
+	// zero-allocation.
+	Metrics *metrics.Registry
 	// OnEvict, when set, observes capacity evictions and expiries. It is
 	// called after the shard lock is released; it must not call back into
 	// the cache for the same keys synchronously expecting them present.
@@ -251,6 +258,7 @@ type Cache struct {
 	lineBytes int64
 	clock     func() int64
 	feeds     []*monitor.SampledUMON // nil when SampleRate == 0
+	metrics   *cacheMetrics          // nil when Config.Metrics is nil
 
 	sweepStop chan struct{}
 	sweepDone chan struct{}
@@ -316,6 +324,9 @@ func New(cfg Config) (*Cache, error) {
 				return nil, err
 			}
 		}
+	}
+	if cfg.Metrics != nil {
+		c.metrics = newCacheMetrics(c, cfg.Metrics)
 	}
 	if cfg.SweepInterval > 0 {
 		c.sweepStop = make(chan struct{})
@@ -431,6 +442,9 @@ func (c *Cache) Set(tenant int, key string, value []byte, ttl time.Duration) err
 		evicted = append(evicted, victim)
 	}
 	sh.mu.Unlock()
+	if c.metrics != nil {
+		c.metrics.opsSet.Inc(int(h & c.mask))
+	}
 	// The UMON is fed only for admitted sets, so rejected oversized entries
 	// do not shape the governed miss curve.
 	if c.feeds != nil {
@@ -451,6 +465,9 @@ func (c *Cache) Get(tenant int, key string) ([]byte, bool) {
 		return nil, false
 	}
 	h := hashKey(tenant, key)
+	if c.metrics != nil {
+		c.metrics.opsGet.Inc(int(h & c.mask))
+	}
 	if c.feeds != nil {
 		c.feeds[tenant].Access(h)
 	}
@@ -485,6 +502,9 @@ func (c *Cache) Delete(tenant int, key string) bool {
 		return false
 	}
 	h := hashKey(tenant, key)
+	if c.metrics != nil {
+		c.metrics.opsDelete.Inc(int(h & c.mask))
+	}
 	sh := &c.shards[h&c.mask]
 	sh.mu.Lock()
 	ts := &sh.tenants[tenant]
@@ -697,6 +717,10 @@ func (c *Cache) Sweep() int {
 			c.report(tenants[i], []*entry{e}, ReasonExpired)
 		}
 		removed += len(evicted)
+	}
+	if c.metrics != nil {
+		c.metrics.sweepPasses.Inc()
+		c.metrics.sweepRemoved.Add(uint64(removed))
 	}
 	return removed
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/monitor"
 	"repro/internal/policy"
 )
@@ -31,8 +32,80 @@ type Governor struct {
 	lcFloor  []int64 // per-tenant TargetBytes for LC tenants, 0 for batch
 	epochs   uint64
 
+	// ring is the bounded decision history behind LastEpochs: each epoch's
+	// curves-in → allocations-out, newest overwriting oldest. Guarded by mu.
+	ring  [epochRingCap]EpochDecision
+	ringN uint64 // epochs pushed; ring[(ringN-1)%cap] is the newest
+
+	m *governorMetrics // nil when the cache has no metrics registry
+
 	stop chan struct{}
 	done chan struct{}
+}
+
+// epochRingCap bounds the decision history kept for introspection.
+const epochRingCap = 32
+
+// epochCurvePoints is the resolution decisions' miss curves are downsampled
+// to for the ring: enough to see the shape, small enough to keep and serve.
+const epochCurvePoints = 32
+
+// EpochTenantDecision is one tenant's slice of an epoch decision: the curve
+// the policy saw and the quota movement it caused.
+type EpochTenantDecision struct {
+	// Name is the tenant's configured name.
+	Name string
+	// CurveAccesses is the (rescaled) access count behind the curve; 0 means
+	// the tenant was silent and contributed a flat zero curve.
+	CurveAccesses float64
+	// CurveTotalLines is the byte-axis-corrected reach of the curve.
+	CurveTotalLines uint64
+	// MissProb samples the curve's miss probability at epochCurvePoints
+	// evenly spaced allocations up to CurveTotalLines.
+	MissProb []float64
+	// PrevQuotaBytes and NewQuotaBytes bracket the epoch's quota movement.
+	PrevQuotaBytes, NewQuotaBytes int64
+}
+
+// EpochDecision records one governor epoch for introspection: what curves
+// went in, what allocations came out, and how long deciding took.
+type EpochDecision struct {
+	// Epoch is the 1-based epoch ordinal.
+	Epoch uint64
+	// UnixNanos is the cache clock's reading when the epoch ran.
+	UnixNanos int64
+	// Duration is the wall time the epoch's decision took.
+	Duration time.Duration
+	// Tenants holds one entry per tenant, in tenant order.
+	Tenants []EpochTenantDecision
+}
+
+// governorMetrics holds the governor's registered instruments; the names and
+// labels are part of the DESIGN.md §12 contract.
+type governorMetrics struct {
+	epochs             *metrics.Counter
+	duration           *metrics.Histogram
+	quota              []*metrics.Gauge
+	deltaUp, deltaDown []*metrics.Counter
+}
+
+func newGovernorMetrics(c *Cache, reg *metrics.Registry) *governorMetrics {
+	m := &governorMetrics{
+		epochs: reg.Counter("governor_epochs_total", "Reconfiguration epochs run."),
+		duration: reg.Histogram("governor_epoch_duration_seconds",
+			"Wall time per governor epoch (curve snapshot through quota apply).",
+			metrics.DurationBuckets()),
+	}
+	for t := range c.cfg.Tenants {
+		l := tenantLabel(c, t)
+		m.quota = append(m.quota, reg.Gauge("governor_tenant_quota_bytes",
+			"Byte quota the governor last applied, per tenant.", l))
+		m.deltaUp = append(m.deltaUp, reg.Counter("governor_tenant_quota_delta_bytes_total",
+			"Cumulative quota movement per tenant, by direction.", l, metrics.L("direction", "up")))
+		m.deltaDown = append(m.deltaDown, reg.Counter("governor_tenant_quota_delta_bytes_total",
+			"Cumulative quota movement per tenant, by direction.", l, metrics.L("direction", "down")))
+	}
+	return m
 }
 
 // GovernorConfig tunes the governor.
@@ -88,13 +161,17 @@ func NewGovernor(c *Cache, pol policy.Policy, cfg GovernorConfig) (*Governor, er
 			lcFloor[t] = tc.TargetBytes
 		}
 	}
-	return &Governor{
+	g := &Governor{
 		cache:    c,
 		pol:      pol,
 		cfg:      cfg,
 		lastSnap: make([]monitor.SampledSnapshot, c.NumTenants()),
 		lcFloor:  lcFloor,
-	}, nil
+	}
+	if c.cfg.Metrics != nil {
+		g.m = newGovernorMetrics(c, c.cfg.Metrics)
+	}
+	return g, nil
 }
 
 // Epochs returns how many epochs have run.
@@ -113,6 +190,7 @@ func (g *Governor) Step() ([]int64, error) {
 }
 
 func (g *Governor) step() ([]int64, error) {
+	start := time.Now()
 	c := g.cache
 	n := c.NumTenants()
 	lines := c.CapacityLines()
@@ -172,7 +250,74 @@ func (g *Governor) step() ([]int64, error) {
 	if err := c.SetQuotas(quotas); err != nil {
 		return nil, err
 	}
+	g.record(apps, stats, quotas, time.Since(start))
 	return quotas, nil
+}
+
+// record pushes the epoch's decision onto the introspection ring and, when
+// the cache is instrumented, mirrors it into the governor's metric families.
+// Runs under g.mu as part of step; off the data path, so the allocations for
+// the downsampled curves are fine.
+func (g *Governor) record(apps []policy.AppObservation, stats []TenantStats, quotas []int64, elapsed time.Duration) {
+	c := g.cache
+	dec := EpochDecision{
+		Epoch:     g.epochs,
+		UnixNanos: c.clock(),
+		Duration:  elapsed,
+		Tenants:   make([]EpochTenantDecision, len(quotas)),
+	}
+	for t := range dec.Tenants {
+		curve := apps[t].Curve
+		td := EpochTenantDecision{
+			Name:            tenantLabel(c, t).Value,
+			CurveAccesses:   curve.Accesses,
+			CurveTotalLines: curve.TotalLines,
+			MissProb:        make([]float64, epochCurvePoints),
+			PrevQuotaBytes:  stats[t].QuotaBytes,
+			NewQuotaBytes:   quotas[t],
+		}
+		for i := range td.MissProb {
+			td.MissProb[i] = curve.MissProbAt(curve.TotalLines * uint64(i+1) / epochCurvePoints)
+		}
+		dec.Tenants[t] = td
+	}
+	g.ring[g.ringN%epochRingCap] = dec
+	g.ringN++
+	if g.m == nil {
+		return
+	}
+	g.m.epochs.Inc()
+	g.m.duration.Observe(elapsed.Seconds())
+	for t, q := range quotas {
+		g.m.quota[t].Set(float64(q))
+		if d := q - stats[t].QuotaBytes; d >= 0 {
+			g.m.deltaUp[t].Add(uint64(d))
+		} else {
+			g.m.deltaDown[t].Add(uint64(-d))
+		}
+	}
+}
+
+// LastEpochs returns up to n of the most recent epoch decisions, newest
+// first. The history is bounded (epochRingCap); older epochs are gone.
+func (g *Governor) LastEpochs(n int) []EpochDecision {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	kept := int(g.ringN)
+	if kept > epochRingCap {
+		kept = epochRingCap
+	}
+	if n > kept {
+		n = kept
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]EpochDecision, n)
+	for i := 0; i < n; i++ {
+		out[i] = g.ring[(g.ringN-1-uint64(i))%epochRingCap]
+	}
+	return out
 }
 
 // normalizeQuotas converts line targets to byte quotas, floors each at

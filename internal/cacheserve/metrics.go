@@ -1,0 +1,99 @@
+package cacheserve
+
+import (
+	"strconv"
+
+	"repro/internal/metrics"
+)
+
+// Metric families exposed by an instrumented cache. The names and labels are
+// a contract (DESIGN.md §12): dashboards and the CI e2e scrape match on them.
+//
+// Hot-path discipline: Get/Set/Delete touch exactly one instrument — a
+// sharded per-op counter indexed by the operation's shard, so concurrent
+// writers on different shards never contend — and stay zero-allocation
+// (BenchmarkCacheServeInstrumented + TestInstrumentedAccessDoesNotAllocate
+// enforce this). Everything per-tenant is synced from the authoritative
+// shard-lock-guarded counters at scrape time via the registry's OnCollect
+// hook, so exposition costs the data path nothing.
+type cacheMetrics struct {
+	opsGet, opsSet, opsDelete *metrics.ShardedCounter
+	sweepPasses               *metrics.Counter
+	sweepRemoved              *metrics.Counter
+
+	// Per-tenant instruments, index-aligned with Config.Tenants; written only
+	// by the OnCollect sync below.
+	hits, misses, sets, deletes []*metrics.Counter
+	evCapacity, evExpired       []*metrics.Counter
+	sampled, fed                []*metrics.Counter
+	bytesUsed, quotaBytes, keys []*metrics.Gauge
+}
+
+// newCacheMetrics registers the cache's families and hooks the per-tenant
+// sync into the registry's scrape path.
+func newCacheMetrics(c *Cache, reg *metrics.Registry) *cacheMetrics {
+	m := &cacheMetrics{
+		sweepPasses:  reg.Counter("cacheserve_sweep_passes_total", "Background/explicit expiry sweep passes."),
+		sweepRemoved: reg.Counter("cacheserve_sweep_removed_total", "Entries removed by expiry sweeps."),
+	}
+	nshards := c.NumShards()
+	for _, op := range []struct {
+		name string
+		dst  **metrics.ShardedCounter
+	}{
+		{"get", &m.opsGet}, {"set", &m.opsSet}, {"delete", &m.opsDelete},
+	} {
+		*op.dst = reg.ShardedCounter("cacheserve_ops_total",
+			"Cache operations by type, counted on the hot path.", nshards,
+			metrics.L("op", op.name))
+	}
+	for _, tc := range c.cfg.Tenants {
+		l := metrics.L("tenant", tc.Name)
+		m.hits = append(m.hits, reg.Counter("cacheserve_tenant_hits_total", "Get hits per tenant.", l))
+		m.misses = append(m.misses, reg.Counter("cacheserve_tenant_misses_total", "Get misses per tenant (expired lookups count as misses).", l))
+		m.sets = append(m.sets, reg.Counter("cacheserve_tenant_sets_total", "Admitted sets per tenant.", l))
+		m.deletes = append(m.deletes, reg.Counter("cacheserve_tenant_deletes_total", "Explicit deletes per tenant.", l))
+		m.evCapacity = append(m.evCapacity, reg.Counter("cacheserve_tenant_evictions_total",
+			"Entries evicted per tenant, by reason.", l, metrics.L("reason", "capacity")))
+		m.evExpired = append(m.evExpired, reg.Counter("cacheserve_tenant_evictions_total",
+			"Entries evicted per tenant, by reason.", l, metrics.L("reason", "expired")))
+		m.sampled = append(m.sampled, reg.Counter("cacheserve_tenant_sampled_accesses_total",
+			"Accesses presented to the tenant's UMON sampling feed.", l))
+		m.fed = append(m.fed, reg.Counter("cacheserve_tenant_fed_accesses_total",
+			"Presented accesses actually forwarded into the tenant's UMON.", l))
+		m.bytesUsed = append(m.bytesUsed, reg.Gauge("cacheserve_tenant_bytes_used", "Live bytes per tenant.", l))
+		m.quotaBytes = append(m.quotaBytes, reg.Gauge("cacheserve_tenant_quota_bytes", "Current byte quota per tenant.", l))
+		m.keys = append(m.keys, reg.Gauge("cacheserve_tenant_keys", "Live entries per tenant.", l))
+	}
+	reg.OnCollect(func() { m.sync(c) })
+	return m
+}
+
+// sync mirrors the authoritative per-tenant counters into the registered
+// instruments; runs under the registry lock at every scrape.
+func (m *cacheMetrics) sync(c *Cache) {
+	for t, st := range c.Stats() {
+		m.hits[t].Set(st.Hits)
+		m.misses[t].Set(st.Misses)
+		m.sets[t].Set(st.Sets)
+		m.deletes[t].Set(st.Deletes)
+		m.evCapacity[t].Set(st.CapacityEvictions)
+		m.evExpired[t].Set(st.Expirations)
+		m.sampled[t].Set(st.SampledAccesses)
+		if c.feeds != nil {
+			m.fed[t].Set(c.feeds[t].Fed())
+		}
+		m.bytesUsed[t].Set(float64(st.BytesUsed))
+		m.quotaBytes[t].Set(float64(st.QuotaBytes))
+		m.keys[t].Set(float64(st.Keys))
+	}
+}
+
+// tenantLabel renders a stable tenant label for instruments registered by
+// index (used by the governor, whose families are per-tenant too).
+func tenantLabel(c *Cache, t int) metrics.Label {
+	if name := c.cfg.Tenants[t].Name; name != "" {
+		return metrics.L("tenant", name)
+	}
+	return metrics.L("tenant", strconv.Itoa(t))
+}

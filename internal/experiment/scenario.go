@@ -10,6 +10,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -67,6 +68,17 @@ type ScenarioOutcome struct {
 // interactive front-end prints; it is only called serially, before the
 // parallel phase starts. A nil pool disables warm-state reuse.
 func RunScenario(spec scenario.Spec, workers int, pool *sim.WarmPool, progress func(format string, args ...any)) (*ScenarioOutcome, error) {
+	return RunScenarioTraced(spec, workers, pool, progress, nil)
+}
+
+// RunScenarioTraced is RunScenario with an optional trace recorder: when rec
+// is non-nil every scheme run records its simulator events into it — one
+// trace pid per scheme in single-node mode, one per (scheme, node) in cluster
+// mode, each named for the viewer. Calibration and baseline runs are never
+// traced (they are shared warm-pool state, not part of any scheme's story).
+// Tracing is observational only: outcomes are bit-identical with rec nil or
+// not.
+func RunScenarioTraced(spec scenario.Spec, workers int, pool *sim.WarmPool, progress func(format string, args ...any), rec *trace.Recorder) (*ScenarioOutcome, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -101,9 +113,9 @@ func RunScenario(spec scenario.Spec, workers int, pool *sim.WarmPool, progress f
 		out.Baselines = append(out.Baselines, base)
 	}
 	if spec.IsCluster() {
-		err = runScenarioCluster(out, spec, schemes, workers, pool, say)
+		err = runScenarioCluster(out, spec, schemes, workers, pool, say, rec)
 	} else {
-		err = runScenarioSingle(out, spec, schemes, workers, pool, say)
+		err = runScenarioSingle(out, spec, schemes, workers, pool, say, rec)
 	}
 	if err != nil {
 		return nil, err
@@ -132,7 +144,7 @@ func batchSlots(spec scenario.Spec) ([]workload.BatchProfile, error) {
 // IPCs, then one RunMix per scheme (sharded over workers when the matrix has
 // several schemes).
 func runScenarioSingle(out *ScenarioOutcome, spec scenario.Spec, schemes []scenario.ResolvedScheme,
-	workers int, pool *sim.WarmPool, say func(string, ...any)) error {
+	workers int, pool *sim.WarmPool, say func(string, ...any), rec *trace.Recorder) error {
 	cfg := out.Cfg
 	cfg.LatencyWindowCycles = out.WindowCycles
 	seed := spec.SeedOrDefault()
@@ -206,6 +218,10 @@ func runScenarioSingle(out *ScenarioOutcome, spec scenario.Spec, schemes []scena
 		// Scheme runs execute `workers` at a time; divide the machine so
 		// in-run speculation cannot oversubscribe it.
 		runCfg := cfg.WithIntraBudget(workers)
+		if rec != nil {
+			rec.SetPIDName(int32(i), "scheme "+rs.Scheme.Name)
+			runCfg.Trace = rec.NewSink(int32(i))
+		}
 		if rs.Unpartitioned {
 			runCfg.LLC.Mode = cache.ModeLRU
 		}
@@ -240,7 +256,7 @@ func runScenarioSingle(out *ScenarioOutcome, spec scenario.Spec, schemes []scena
 // cache mode and policy differ, so every scheme replays the identical query
 // plan.
 func runScenarioCluster(out *ScenarioOutcome, spec scenario.Spec, schemes []scenario.ResolvedScheme,
-	workers int, pool *sim.WarmPool, say func(string, ...any)) error {
+	workers int, pool *sim.WarmPool, say func(string, ...any), rec *trace.Recorder) error {
 	cfg := out.Cfg
 	seed := spec.SeedOrDefault()
 	reqFactor := spec.RequestFactorOrDefault()
@@ -260,10 +276,17 @@ func runScenarioCluster(out *ScenarioOutcome, spec scenario.Spec, schemes []scen
 		return err
 	}
 
-	buildSpec := func(rs scenario.ResolvedScheme) cluster.Spec {
+	buildSpec := func(rs scenario.ResolvedScheme, schemeIdx int) cluster.Spec {
 		nodes := make([]cluster.NodeSpec, c.Nodes)
 		for i := range nodes {
 			nodeCfg := cfg
+			if rec != nil {
+				// One trace row per (scheme, node); the pid packs both so a
+				// matrix's schemes stay distinguishable in one export.
+				pid := int32(schemeIdx)<<10 | int32(i)
+				rec.SetPIDName(pid, fmt.Sprintf("scheme %s node %d", rs.Scheme.Name, i))
+				nodeCfg.Trace = rec.NewSink(pid)
+			}
 			if rs.Unpartitioned {
 				nodeCfg.LLC.Mode = cache.ModeLRU
 			}
@@ -306,7 +329,7 @@ func runScenarioCluster(out *ScenarioOutcome, spec scenario.Spec, schemes []scen
 		return cl
 	}
 
-	first := buildSpec(schemes[0])
+	first := buildSpec(schemes[0], 0)
 	out.ClusterSpec = &first
 	if len(spec.Faults) > 0 {
 		say("Injecting %d fault-plan entries...\n", len(spec.Faults))
@@ -335,7 +358,7 @@ func runScenarioCluster(out *ScenarioOutcome, spec scenario.Spec, schemes []scen
 		// schemeWorkers × nodeWorkers node simulations run at once in either
 		// shape; budget each node's speculation width against that product
 		// (pool identities are unaffected: PoolIdentity clears the knob).
-		spec := buildSpec(rs)
+		spec := buildSpec(rs, i)
 		for n := range spec.Nodes {
 			spec.Nodes[n].Config = spec.Nodes[n].Config.WithIntraBudget(workers)
 		}

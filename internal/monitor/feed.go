@@ -62,6 +62,15 @@ func (s *SampledUMON) Stride() uint64 { return s.stride }
 // Presented returns how many accesses have been offered to the feed.
 func (s *SampledUMON) Presented() uint64 { return s.presented.Load() }
 
+// Fed returns how many of the presented accesses were forwarded into the
+// wrapped monitor (≈ Presented/Stride; exposed so instrumentation can report
+// both sides of the sampling ratio).
+func (s *SampledUMON) Fed() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.u.AccessesSince(UMONSnapshot{})
+}
+
 // Access offers one access (identified by its hashed line address) to the
 // feed. Safe for concurrent use.
 func (s *SampledUMON) Access(addr uint64) {

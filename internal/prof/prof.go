@@ -10,65 +10,93 @@ import (
 	"runtime/pprof"
 )
 
+// osCreate is os.Create, swappable by tests to exercise file-error paths.
+var osCreate = os.Create
+
 // active is the stop function of the profiling session in flight, so Flush
 // can finish the profiles on error paths that bypass main's defer.
-var active func()
+var active func() error
 
 // Start begins CPU profiling to cpuPath (if non-empty) and returns an
-// idempotent stop function that ends the CPU profile and writes a heap
-// profile to memPath (if non-empty). Call it right after flag parsing and
-// defer the stop function:
+// idempotent stop function that ends the CPU profile, closes its file, and
+// writes a heap profile to memPath (if non-empty). Call it right after flag
+// parsing and run the stop function on every exit path, checking its error —
+// a close that fails can truncate the profile trailer, and a perf run with a
+// silently corrupt profile is worse than no run:
 //
-//	defer prof.Start(*cpuProfile, *memProfile)()
+//	stop, err := prof.Start(*cpuProfile, *memProfile)
+//	if err != nil {
+//		return err
+//	}
+//	defer func() {
+//		if perr := stop(); retErr == nil {
+//			retErr = perr
+//		}
+//	}()
 //
 // Error paths that exit via os.Exit (skipping defers) must call Flush first,
 // or the CPU profile is left without its trailer and the heap profile is
-// never written. Profiling failures are fatal: a perf run with a silently
-// missing profile is worse than no run.
-func Start(cpuPath, memPath string) func() {
+// never written.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
 	if cpuPath != "" {
-		f, err := os.Create(cpuPath)
+		cpuFile, err = osCreate(cpuPath)
 		if err != nil {
-			fatal("create CPU profile", err)
+			return nil, fmt.Errorf("prof: create CPU profile: %w", err)
 		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal("start CPU profile", err)
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: start CPU profile: %w", err)
 		}
 	}
 	done := false
-	stop := func() {
+	stop = func() error {
 		if done {
-			return
+			return nil
 		}
 		done = true
-		if cpuPath != "" {
+		var firstErr error
+		if cpuFile != nil {
 			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				firstErr = fmt.Errorf("prof: close CPU profile: %w", err)
+			}
 		}
 		if memPath != "" {
-			f, err := os.Create(memPath)
-			if err != nil {
-				fatal("create heap profile", err)
-			}
-			defer f.Close()
-			runtime.GC() // materialise final live-heap statistics
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fatal("write heap profile", err)
+			if err := writeHeapProfile(memPath); err != nil && firstErr == nil {
+				firstErr = err
 			}
 		}
+		return firstErr
 	}
 	active = stop
-	return stop
+	return stop, nil
 }
 
-// Flush finishes any in-flight profiles. It is safe to call when no
-// profiling session is active, and a profile is never finished twice.
-func Flush() {
-	if active != nil {
-		active()
+// writeHeapProfile materialises final live-heap statistics and writes them,
+// reporting create, write and close failures alike.
+func writeHeapProfile(path string) error {
+	f, err := osCreate(path)
+	if err != nil {
+		return fmt.Errorf("prof: create heap profile: %w", err)
 	}
+	runtime.GC() // materialise final live-heap statistics
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("prof: write heap profile: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("prof: close heap profile: %w", err)
+	}
+	return nil
 }
 
-func fatal(what string, err error) {
-	fmt.Fprintf(os.Stderr, "prof: %s: %v\n", what, err)
-	os.Exit(1)
+// Flush finishes any in-flight profiles and reports what finishing them
+// returned. It is safe to call when no profiling session is active, and a
+// profile is never finished twice.
+func Flush() error {
+	if active != nil {
+		return active()
+	}
+	return nil
 }

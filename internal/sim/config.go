@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/cpu"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -73,6 +74,13 @@ type Config struct {
 	// so this is purely a wall-clock knob, excluded from warm-pool identities
 	// (see Config.PoolIdentity).
 	IntraParallel int
+	// Trace, when non-nil, records structured run events — scheduler quanta,
+	// reconfiguration boundaries, fault activations, cold restarts, and
+	// speculation commits/aborts — into the sink's ring (see internal/trace).
+	// Recording is strictly observational: the hooks only read simulator
+	// state, so numerics are bit-identical with tracing on or off. Like
+	// IntraParallel it is excluded from warm-pool identities.
+	Trace *trace.Sink
 }
 
 // LinesFor2MB is the scaled line count standing in for a 2 MB LLC bank.
@@ -168,12 +176,13 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// PoolIdentity returns the configuration with every pure wall-clock knob
-// cleared — currently just IntraParallel — the form memoization keys must
-// format: two runs differing only in such knobs produce bit-identical results
-// and have to share a warm-pool entry.
+// PoolIdentity returns the configuration with every pure wall-clock or
+// observational knob cleared — currently IntraParallel and Trace — the form
+// memoization keys must format: two runs differing only in such knobs produce
+// bit-identical results and have to share a warm-pool entry.
 func (c Config) PoolIdentity() Config {
 	c.IntraParallel = 0
+	c.Trace = nil
 	return c
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/monitor"
 	"repro/internal/queueing"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -102,6 +103,10 @@ type appRuntime struct {
 	// lazily on its first window; nil for latency-critical apps, flat
 	// configurations and serial runs. Never cloned — forks build their own.
 	sp *speculation
+
+	// tr records structured run events (Config.Trace); nil means off. Shared
+	// with clones: a fork's events land in the same ring as its parent's.
+	tr *trace.Sink
 }
 
 // newAppRuntime builds the runtime state for one application slot.
@@ -113,7 +118,7 @@ func newAppRuntime(idx int, spec AppSpec, cfg Config) (*appRuntime, error) {
 	if seed == 0 {
 		seed = workload.SplitSeed(cfg.Seed, uint64(idx)+101)
 	}
-	a := &appRuntime{idx: idx, spec: spec}
+	a := &appRuntime{idx: idx, spec: spec, tr: cfg.Trace}
 	modelLines := cfg.LLC.Lines
 	uw := monitor.UMONWords(modelLines, cfg.UMONWays, cfg.UMONSampleSets)
 	hw := cache.HierarchyWords(cfg.Hierarchy)
@@ -229,7 +234,11 @@ func (a *appRuntime) enqueueArrivals(now uint64, coalesce uint64) {
 	for a.generated < a.toGenerate && a.nextArrivalVisible <= now {
 		demand := a.lcApp.NextServiceDemand()
 		if len(a.spec.SlowWindows) > 0 {
+			drawn := demand
 			demand = inflateDemand(demand, a.nextArrivalRaw, a.spec.SlowWindows)
+			if demand != drawn {
+				a.tr.Record(trace.KindFault, int32(a.idx), a.nextArrivalRaw, 0, drawn, demand)
+			}
 		}
 		req := &queueing.Request{
 			ID:            uint64(a.generated),

@@ -7,6 +7,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/parallel"
 	"repro/internal/policy"
+	"repro/internal/trace"
 )
 
 // partID maps an application slot to its cache partition.
@@ -316,6 +317,7 @@ func (s *Simulator) ColdRestart(pol policy.Policy) error {
 		}
 	}
 	s.policy = pol
+	s.cfg.Trace.Record(trace.KindRestart, 0, s.globalTime(), 0, 0, 0)
 	for _, a := range s.apps {
 		if a.hier != nil {
 			a.hier.Reset()
@@ -369,6 +371,8 @@ func (s *Simulator) runLoop(stop uint64) error {
 		// the machine: the pre-stepped private prefix lands wholesale and the
 		// deferred shared-LLC accesses replay here, in serial order.
 		s.commitSpec(a)
+		quantumStart := a.clock
+		countersAtQuantum := a.counters
 		// The batch horizon: a runs while it would still win the heap within
 		// the quantum's slack.
 		horizon, horizonIdx := ^uint64(0), -1
@@ -399,6 +403,11 @@ func (s *Simulator) runLoop(stop uint64) error {
 			}
 		}
 		s.running = nil
+		if a.clock > quantumStart {
+			s.cfg.Trace.Record(trace.KindQuantum, int32(a.idx), quantumStart, a.clock-quantumStart,
+				a.counters.LLCAccesses-countersAtQuantum.LLCAccesses,
+				a.counters.LLCMisses-countersAtQuantum.LLCMisses)
+		}
 		if a.done {
 			if a.isLC() {
 				s.lcLeft--
@@ -564,6 +573,7 @@ func (s *Simulator) reconfigureAt(now uint64) {
 	}
 	for now >= s.nextReconfig {
 		s.reconfigurations++
+		s.cfg.Trace.Record(trace.KindReconfig, 0, s.nextReconfig, 0, s.reconfigurations, 0)
 		s.applyResizes(s.policy.Reconfigure(s.view))
 		// Take fresh window snapshots after the policy has read the old ones.
 		for _, a := range s.apps {

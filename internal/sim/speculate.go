@@ -7,6 +7,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/parallel"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -218,6 +219,7 @@ func (s *Simulator) commitSpec(b *appRuntime) {
 	}
 	sp.wg.Wait()
 	sp.launched = false
+	clockBefore := b.clock
 	b.stream.CopyStateFrom(sp.stream)
 	b.hier.CopyPrivateStateFrom(sp.hier)
 	b.clock = sp.clock
@@ -234,6 +236,8 @@ func (s *Simulator) commitSpec(b *appRuntime) {
 		// Batch apps carry no reuse profiler (it is LC-only), so the replay
 		// ends here — mirroring doHierAccess's nil check.
 	}
+	s.cfg.Trace.Record(trace.KindSpecCommit, int32(b.idx), b.clock,
+		0, uint64(len(sp.pending)), b.clock-clockBefore)
 }
 
 // drainSpecs waits out and discards every in-flight speculation window.
@@ -247,6 +251,7 @@ func (s *Simulator) drainSpecs() {
 		if sp := a.sp; sp != nil && sp.launched {
 			sp.wg.Wait()
 			sp.launched = false
+			s.cfg.Trace.Record(trace.KindSpecAbort, int32(a.idx), a.clock, 0, 1, 0)
 		}
 	}
 }
