@@ -34,6 +34,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/stats"
+	"repro/internal/tracein"
 )
 
 func main() {
@@ -121,6 +122,7 @@ func run(args []string, out io.Writer) error {
 		goroutines = fs.Int("goroutines", runtime.GOMAXPROCS(0), "concurrent load goroutines")
 		setFrac    = fs.Float64("setfrac", 0.1, "fraction of operations that are writes")
 		seed       = fs.Int64("seed", 1, "workload RNG seed")
+		traceFile  = fs.String("trace-file", "", "replay a recorded kv trace (tracegen -kind kv, or internal/tracein CSV/binary) instead of the synthetic workload; the recording fixes the tenants, keys and op mix")
 		httpAddr   = fs.String("http", "", "serve /metrics, /debug/tenants and /debug/pprof on this address (e.g. :8080; empty = off)")
 		linger     = fs.Duration("linger", 0, "with -http: keep serving this long after the load completes")
 		sweep      = fs.Duration("sweep", 0, "background expiry sweep interval (0 = lazy expiry only)")
@@ -128,9 +130,33 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	specs, err := parseTenants(*tenants)
-	if err != nil {
-		return err
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	var (
+		specs []tenantSpec
+		tr    *tracein.Trace
+	)
+	if *traceFile != "" {
+		for _, f := range []string{"tenants", "keys", "zipf", "setfrac", "seed"} {
+			if explicit[f] {
+				return fmt.Errorf("-%s shapes the synthetic workload and conflicts with -trace-file: the recording already fixes the tenants, keys and op mix (drop -%s or -trace-file)", f, f)
+			}
+		}
+		var err error
+		if tr, err = tracein.Open(*traceFile); err != nil {
+			return err
+		}
+		defer tr.Close()
+		// The recording defines the tenant set: one plain batch tenant per
+		// trace column, named t0..tN-1.
+		for t := 0; t < tr.Apps(); t++ {
+			specs = append(specs, tenantSpec{cfg: cacheserve.TenantConfig{Name: fmt.Sprintf("t%d", t)}})
+		}
+	} else {
+		var err error
+		if specs, err = parseTenants(*tenants); err != nil {
+			return err
+		}
 	}
 	capBytes, err := parseSize(*capacity)
 	if err != nil {
@@ -192,107 +218,140 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	// Pre-render every tenant's key space so formatting stays off the hot path.
-	tenantKeys := make([][]string, len(specs))
-	for t, s := range specs {
-		n := *keys
-		if s.scan {
-			n *= 4
-		}
-		ks := make([]string, n)
-		for i := range ks {
-			ks[i] = fmt.Sprintf("%s-%07d", s.cfg.Name, i)
-		}
-		tenantKeys[t] = ks
-	}
-
 	fmt.Fprintf(out, "cacheserved: %d tenants, %s capacity, %d shards, policy %s, sampling %.2g\n",
 		cache.NumTenants(), *capacity, cache.NumShards(), pol.Name(), *sample)
 	startQuotas := quotaVector(cache)
-
-	gov.Start()
-	defer gov.Stop()
-
-	type workerStats struct {
-		ops, hits []uint64
-		lat       []*stats.Sample
-	}
-	perWorker := make([]workerStats, *goroutines)
-	opsPer := *ops / *goroutines
-	var wg sync.WaitGroup
-	start := time.Now()
-	for w := 0; w < *goroutines; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			ws := &perWorker[w]
-			ws.ops = make([]uint64, len(specs))
-			ws.hits = make([]uint64, len(specs))
-			ws.lat = make([]*stats.Sample, len(specs))
-			for t := range ws.lat {
-				ws.lat[t] = stats.NewSample(opsPer / latencySampleStride / len(specs))
-			}
-			rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
-			zipfs := make([]*rand.Zipf, len(specs))
-			scanPos := make([]int, len(specs))
-			for t, s := range specs {
-				if !s.scan {
-					zipfs[t] = rand.NewZipf(rng, *zipfS, 1, uint64(len(tenantKeys[t])-1))
-				}
-			}
-			val := make([]byte, *valueSize)
-			for i := 0; i < opsPer; i++ {
-				t := i % len(specs)
-				var key string
-				if specs[t].scan {
-					key = tenantKeys[t][scanPos[t]]
-					scanPos[t] = (scanPos[t] + 1) % len(tenantKeys[t])
-				} else {
-					key = tenantKeys[t][zipfs[t].Uint64()]
-				}
-				timed := i%latencySampleStride == 0
-				var begin time.Time
-				if timed {
-					begin = time.Now()
-				}
-				if rng.Float64() < *setFrac {
-					cache.Set(t, key, val, 0)
-				} else if _, ok := cache.Get(t, key); ok {
-					ws.hits[t]++
-				} else {
-					cache.Set(t, key, val, 0) // fill on miss, as a real service would
-				}
-				if timed {
-					ws.lat[t].Add(float64(time.Since(begin).Nanoseconds()))
-				}
-				ws.ops[t]++
-			}
-		}(w)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-	gov.Stop()
 
 	totalOps := 0
 	merged := make([]*stats.Sample, len(specs))
 	tenantOps := make([]uint64, len(specs))
 	tenantHits := make([]uint64, len(specs))
-	for t := range specs {
-		merged[t] = stats.NewSample(1024)
-		for w := range perWorker {
-			if perWorker[w].lat == nil {
-				continue
-			}
-			merged[t].AddAll(perWorker[w].lat[t].Values())
-			tenantOps[t] += perWorker[w].ops[t]
-			tenantHits[t] += perWorker[w].hits[t]
-			totalOps += int(perWorker[w].ops[t])
-		}
-	}
+	var elapsed time.Duration
 
-	fmt.Fprintf(out, "ran %d ops in %v (%.2fM ops/sec aggregate, %d goroutines), %d governor epochs\n",
-		totalOps, elapsed.Round(time.Millisecond),
-		float64(totalOps)/elapsed.Seconds()/1e6, *goroutines, gov.Epochs())
+	if tr != nil {
+		// Replay mode: all per-record preparation (key rendering, value
+		// sizing) happens in NewReplayer, before the timer starts.
+		rp, err := cacheserve.NewReplayer(cache, tr)
+		if err != nil {
+			return err
+		}
+		gov.Start()
+		defer gov.Stop()
+		start := time.Now()
+		ts, err := rp.Run(*ops, *goroutines)
+		elapsed = time.Since(start)
+		gov.Stop()
+		if err != nil {
+			return err
+		}
+		var gets, sets uint64
+		for t := range ts {
+			merged[t] = ts[t].Latency
+			tenantOps[t] = ts[t].Gets + ts[t].Sets
+			tenantHits[t] = ts[t].Hits
+			totalOps += int(tenantOps[t])
+			gets += ts[t].Gets
+			sets += ts[t].Sets
+		}
+		fmt.Fprintf(out, "replayed %d ops (%d gets, %d sets; %d-record trace, %d passes) in %v (%.2fM ops/sec aggregate, %d goroutines), %d governor epochs\n",
+			totalOps, gets, sets, tr.Len(), (*ops+tr.Len()-1)/tr.Len(),
+			elapsed.Round(time.Millisecond),
+			float64(totalOps)/elapsed.Seconds()/1e6, *goroutines, gov.Epochs())
+	} else {
+		// Pre-render every tenant's key space so formatting stays off the hot path.
+		tenantKeys := make([][]string, len(specs))
+		for t, s := range specs {
+			n := *keys
+			if s.scan {
+				n *= 4
+			}
+			ks := make([]string, n)
+			for i := range ks {
+				ks[i] = fmt.Sprintf("%s-%07d", s.cfg.Name, i)
+			}
+			tenantKeys[t] = ks
+		}
+
+		gov.Start()
+		defer gov.Stop()
+
+		type workerStats struct {
+			ops, hits []uint64
+			lat       []*stats.Sample
+		}
+		perWorker := make([]workerStats, *goroutines)
+		opsPer := *ops / *goroutines
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < *goroutines; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ws := &perWorker[w]
+				ws.ops = make([]uint64, len(specs))
+				ws.hits = make([]uint64, len(specs))
+				ws.lat = make([]*stats.Sample, len(specs))
+				for t := range ws.lat {
+					ws.lat[t] = stats.NewSample(opsPer / latencySampleStride / len(specs))
+				}
+				rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
+				zipfs := make([]*rand.Zipf, len(specs))
+				scanPos := make([]int, len(specs))
+				for t, s := range specs {
+					if !s.scan {
+						zipfs[t] = rand.NewZipf(rng, *zipfS, 1, uint64(len(tenantKeys[t])-1))
+					}
+				}
+				val := make([]byte, *valueSize)
+				for i := 0; i < opsPer; i++ {
+					t := i % len(specs)
+					var key string
+					if specs[t].scan {
+						key = tenantKeys[t][scanPos[t]]
+						scanPos[t] = (scanPos[t] + 1) % len(tenantKeys[t])
+					} else {
+						key = tenantKeys[t][zipfs[t].Uint64()]
+					}
+					timed := i%latencySampleStride == 0
+					var begin time.Time
+					if timed {
+						begin = time.Now()
+					}
+					if rng.Float64() < *setFrac {
+						cache.Set(t, key, val, 0)
+					} else if _, ok := cache.Get(t, key); ok {
+						ws.hits[t]++
+					} else {
+						cache.Set(t, key, val, 0) // fill on miss, as a real service would
+					}
+					if timed {
+						ws.lat[t].Add(float64(time.Since(begin).Nanoseconds()))
+					}
+					ws.ops[t]++
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed = time.Since(start)
+		gov.Stop()
+
+		for t := range specs {
+			merged[t] = stats.NewSample(1024)
+			for w := range perWorker {
+				if perWorker[w].lat == nil {
+					continue
+				}
+				merged[t].AddAll(perWorker[w].lat[t].Values())
+				tenantOps[t] += perWorker[w].ops[t]
+				tenantHits[t] += perWorker[w].hits[t]
+				totalOps += int(perWorker[w].ops[t])
+			}
+		}
+
+		fmt.Fprintf(out, "ran %d ops in %v (%.2fM ops/sec aggregate, %d goroutines), %d governor epochs\n",
+			totalOps, elapsed.Round(time.Millisecond),
+			float64(totalOps)/elapsed.Seconds()/1e6, *goroutines, gov.Epochs())
+	}
 	fmt.Fprintf(out, "%-12s %10s %8s %9s %9s %9s %10s %12s %12s\n",
 		"tenant", "ops", "hit%", "p50us", "p95us", "p99us", "evictions", "quota0", "quota")
 	endQuotas := quotaVector(cache)

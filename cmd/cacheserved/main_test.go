@@ -4,10 +4,14 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/tracein"
 )
 
 func TestParseSize(t *testing.T) {
@@ -181,6 +185,93 @@ func TestRunServesObservability(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "serving /metrics") {
 		t.Errorf("output missing serving banner:\n%s", out.String())
+	}
+}
+
+// writeKVTrace generates a small kv trace file for the replay tests.
+func writeKVTrace(t *testing.T, records, apps int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "kv.trace")
+	if _, err := tracein.GenerateFile(path, tracein.GenSpec{
+		Kind: tracein.KindKV, Gen: tracein.GenMixed,
+		Records: records, Apps: apps, Keys: 2000, Seed: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunTraceReplay is the in-process version of the CI trace-replay e2e
+// step: replay a recorded kv trace, asking for more ops than the trace holds
+// (so the recording wraps), and check the per-tenant table comes out with the
+// trace-named tenants.
+func TestRunTraceReplay(t *testing.T) {
+	path := writeKVTrace(t, 20_000, 2)
+	var out strings.Builder
+	err := run([]string{
+		"-capacity", "4m", "-ops", "50000", "-goroutines", "2",
+		"-sample", "1", "-epoch", "5ms", "-trace-file", path,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"cacheserved: 2 tenants", "replayed 50000 ops",
+		"20000-record trace, 3 passes", "t0", "t1", "quota",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestTraceFileFlagConflicts is the contradictory-flag sweep for replay mode:
+// every flag that shapes the synthetic workload is rejected alongside
+// -trace-file, and broken trace files fail with actionable errors.
+func TestTraceFileFlagConflicts(t *testing.T) {
+	good := writeKVTrace(t, 1000, 1)
+	memTrace := filepath.Join(t.TempDir(), "mem.trace")
+	if _, err := tracein.GenerateFile(memTrace, tracein.GenSpec{
+		Kind: tracein.KindMem, Gen: tracein.GenZipf, Records: 1000, Seed: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	truncated := filepath.Join(t.TempDir(), "cut.trace")
+	data, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(truncated, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"tenants conflict", []string{"-trace-file", good, "-tenants", "hot:zipf"}, "-tenants shapes the synthetic workload"},
+		{"keys conflict", []string{"-trace-file", good, "-keys", "1000"}, "-keys shapes the synthetic workload"},
+		{"zipf conflict", []string{"-trace-file", good, "-zipf", "1.2"}, "-zipf shapes the synthetic workload"},
+		{"setfrac conflict", []string{"-trace-file", good, "-setfrac", "0.2"}, "-setfrac shapes the synthetic workload"},
+		{"seed conflict", []string{"-trace-file", good, "-seed", "7"}, "-seed shapes the synthetic workload"},
+		{"missing file", []string{"-trace-file", filepath.Join(t.TempDir(), "nope.trace")}, "no such file"},
+		{"mem trace rejected", []string{"-trace-file", memTrace}, "needs a kv trace"},
+		{"truncated file", []string{"-trace-file", truncated}, "truncated"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			var out strings.Builder
+			err := run(c.args, &out)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", c.args, c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not contain %q", err, c.wantErr)
+			}
+		})
 	}
 }
 

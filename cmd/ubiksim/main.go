@@ -11,6 +11,7 @@
 //	ubiksim -lc specjbb -load 0.2 -instances 3 -batch mcf,libquantum,soplex -scheme ubik -slack 0.05
 //	ubiksim -lc specjbb -load 0.2 -loadsched 'burst:at=8e6,dur=8e6,x=3'
 //	ubiksim -lc specjbb -load 0.2 -nodes 8 -fanout 4 -balancer p2c -hedge 0.3
+//	ubiksim -lc masstree -load 0.2 -tracefile phase.trace -traceapps 2
 //	ubiksim -scenario examples/scenarios/flash-crowd-failure.json
 //
 // With -nodes above 1 the mix becomes a cluster: every node runs one replica
@@ -58,6 +59,7 @@ var specFlags = []string{
 	"lc", "load", "instances", "batch", "scheme", "slack", "requests", "seed",
 	"loadsched", "nodes", "fanout", "quorum", "balancer", "hedge",
 	"l1kb", "l2kb", "inclusive", "nohier", "intraparallel",
+	"tracefile", "traceapps",
 }
 
 // run is the testable entry point: it parses args, lowers them (or the
@@ -78,6 +80,8 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 		reqFactor    = fs.Float64("requests", 0.25, "request-count scale factor")
 		seed         = fs.Uint64("seed", 1, "random seed")
 		loadSched    = fs.String("loadsched", "const", "time-varying load schedule for the LC instances (const, burst:at=,dur=,x=[,period=], ramp:dur=,to=[,at=,from=], diurnal:period=[,amp=], flash:at=,x=,decay=, mmpp:x=,on=,off=[,lo=]); non-constant schedules also print per-window tails")
+		traceFile    = fs.String("tracefile", "", "replay a recorded mem trace (tracegen -kind mem, or internal/tracein CSV/binary) as the batch set instead of the synthetic -batch applications")
+		traceApps    = fs.Int("traceapps", 1, "with -tracefile: how many of the recording's app columns to replay, one batch slot per column (trace_app 0..N-1)")
 		parallelism  = fs.Int("parallelism", 0, "workers for the per-instance isolation baselines and per-node cluster simulations (0 = GOMAXPROCS); results are identical at any setting")
 		intraPar     = fs.Int("intraparallel", 0, "workers one simulation may use to speculatively pre-step independent batch apps between scheduler quanta (0 = auto, 1 = strictly serial); results are identical at any setting")
 		nodes        = fs.Int("nodes", 1, "cluster size: replica nodes, one latency-critical replica plus the batch set each (1 = plain single-node mix)")
@@ -134,6 +138,9 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 		if err := validateClusterFlags(*nodes, *fanout, *quorum, *balancer, *hedge, explicit); err != nil {
 			return err
 		}
+		if err := validateTraceFlags(*traceFile, *traceApps, *nodes, explicit); err != nil {
+			return err
+		}
 		var err error
 		spec, err = specFromFlags(flagSpec{
 			lc: *lcName, load: *load, instances: *instances, batch: *batchList,
@@ -142,6 +149,7 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 			balancer: *balancer, hedge: *hedge,
 			l1KB: *l1KB, l2KB: *l2KB, inclusive: *inclusive, noHier: *noHier,
 			intraParallel: *intraPar,
+			traceFile:     *traceFile, traceApps: *traceApps,
 		})
 		if err != nil {
 			return err
@@ -210,6 +218,8 @@ type flagSpec struct {
 	l1KB, l2KB            float64
 	inclusive, noHier     bool
 	intraParallel         int
+	traceFile             string
+	traceApps             int
 }
 
 // specFromFlags lowers the flag form to the same scenario spec a file would
@@ -256,12 +266,20 @@ func specFromFlags(f flagSpec) (scenario.Spec, error) {
 		lcApp.Instances = f.instances
 	}
 	spec.Apps = append(spec.Apps, lcApp)
-	for _, name := range strings.Split(f.batch, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
+	if f.traceFile != "" {
+		// The recording replaces the synthetic batch set: one batch slot per
+		// replayed app column.
+		for k := 0; k < f.traceApps; k++ {
+			spec.Apps = append(spec.Apps, scenario.App{Trace: f.traceFile, TraceApp: k})
 		}
-		spec.Apps = append(spec.Apps, scenario.App{Batch: name})
+	} else {
+		for _, name := range strings.Split(f.batch, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			spec.Apps = append(spec.Apps, scenario.App{Batch: name})
+		}
 	}
 	sc := scenario.Scheme{Name: f.scheme}
 	if strings.ToLower(f.scheme) == "ubik" {
@@ -344,6 +362,31 @@ func printClusterScheme(stdout io.Writer, out *experiment.ScenarioOutcome, i int
 	if base.TailLatency > 0 {
 		fmt.Fprintf(stdout, "query tail amplification: %.3fx (query p95 vs isolated leaf tail)\n", sc.TailAmplification)
 	}
+}
+
+// validateTraceFlags rejects contradictory trace-replay flag combinations up
+// front, mirroring validateClusterFlags: every flag that would silently
+// re-shape or be displaced by the recording is an explicit error.
+func validateTraceFlags(traceFile string, traceApps, nodes int, explicit map[string]bool) error {
+	if traceFile == "" {
+		if explicit["traceapps"] {
+			return fmt.Errorf("-traceapps selects app columns of a -tracefile recording; add -tracefile or drop -traceapps")
+		}
+		return nil
+	}
+	if explicit["batch"] {
+		return fmt.Errorf("-batch conflicts with -tracefile: the recording replaces the synthetic batch set (drop one)")
+	}
+	if explicit["loadsched"] {
+		return fmt.Errorf("-loadsched conflicts with -tracefile: a recording replays fixed accesses and cannot be re-timed (drop one)")
+	}
+	if nodes > 1 {
+		return fmt.Errorf("-tracefile replay is single-node; drop -nodes or the trace")
+	}
+	if traceApps < 1 {
+		return fmt.Errorf("-traceapps must be at least 1, got %d", traceApps)
+	}
+	return nil
 }
 
 // validateClusterFlags rejects contradictory cluster flag combinations up

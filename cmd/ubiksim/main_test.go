@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/tracein"
 )
 
 // TestRunEndToEnd drives the full binary entry point (flag parsing through
@@ -267,6 +269,82 @@ func TestScenarioFlagHandling(t *testing.T) {
 				t.Errorf("error %q does not contain %q", err, c.wantErr)
 			}
 		})
+	}
+}
+
+// TestTraceFlagHandling is the contradictory-flag sweep for -tracefile:
+// flags the recording displaces or cannot co-exist with are rejected up
+// front, and broken trace files fail with actionable errors.
+func TestTraceFlagHandling(t *testing.T) {
+	good := filepath.Join(t.TempDir(), "mem.trace")
+	if _, err := tracein.GenerateFile(good, tracein.GenSpec{
+		Kind: tracein.KindMem, Gen: tracein.GenPhase, Records: 5000, Apps: 2, Seed: 5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	kv := filepath.Join(t.TempDir(), "kv.trace")
+	if _, err := tracein.GenerateFile(kv, tracein.GenSpec{
+		Kind: tracein.KindKV, Gen: tracein.GenZipf, Records: 5000, Seed: 5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"traceapps without tracefile", []string{"-traceapps", "2"}, "add -tracefile or drop -traceapps"},
+		{"batch conflict", []string{"-tracefile", good, "-batch", "mcf"}, "-batch conflicts with -tracefile"},
+		{"loadsched conflict", []string{"-tracefile", good, "-loadsched", "burst:at=1e6,dur=1e6,x=2"}, "-loadsched conflicts with -tracefile"},
+		{"cluster conflict", []string{"-tracefile", good, "-nodes", "2"}, "replay is single-node"},
+		{"zero traceapps", []string{"-tracefile", good, "-traceapps", "0"}, "-traceapps must be at least 1"},
+		{"scenario conflict", []string{"-scenario", "x.json", "-tracefile", good}, "-tracefile conflicts with -scenario"},
+		{"missing file", []string{"-tracefile", filepath.Join(t.TempDir(), "nope.trace"), "-requests", "0.03"}, "no such file"},
+		{"column out of range", []string{"-tracefile", good, "-traceapps", "3", "-requests", "0.03"}, "out of range"},
+		{"kv trace rejected", []string{"-tracefile", kv, "-requests", "0.03"}, "cannot drive a simulator address stream"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			var stdout, stderr bytes.Buffer
+			err := run(c.args, &stdout, &stderr)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error containing %q", c.args, c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not contain %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestTraceReplayRun drives a recorded mem trace end to end through the flag
+// entry point: both app columns replay as batch slots next to the LC app.
+func TestTraceReplayRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end runs are slow")
+	}
+	path := filepath.Join(t.TempDir(), "mem.trace")
+	if _, err := tracein.GenerateFile(path, tracein.GenSpec{
+		Kind: tracein.KindMem, Gen: tracein.GenPhase, Records: 60_000, Apps: 2, Seed: 5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-lc", "masstree", "-load", "0.2", "-instances", "1",
+		"-tracefile", path, "-traceapps", "2", "-requests", "0.03"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := stdout.String()
+	if n := strings.Count(got, "trace-replay"); n < 2 {
+		t.Errorf("output lists %d trace-replay rows, want both columns:\n%s", n, got)
+	}
+	for _, want := range []string{"tail latency degradation:", "batch weighted speedup:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/tracein"
 	"repro/internal/workload"
 )
 
@@ -123,17 +124,47 @@ func RunScenarioTraced(spec scenario.Spec, workers int, pool *sim.WarmPool, prog
 	return out, nil
 }
 
-// batchSlots expands the scenario's batch entries into app slots, returning
-// the profiles in slot order.
-func batchSlots(spec scenario.Spec) ([]workload.BatchProfile, error) {
-	var out []workload.BatchProfile
-	for _, a := range spec.BatchApps() {
-		profile, err := workload.BatchByName(a.Batch)
-		if err != nil {
-			return nil, err
-		}
-		for i := 0; i < a.InstancesOrDefault(); i++ {
-			out = append(out, profile)
+// batchSlot is one lowered batch-kind app slot: its timing profile plus, for
+// trace entries, the replayed address stream.
+type batchSlot struct {
+	profile workload.BatchProfile
+	trace   *workload.TraceStream
+}
+
+// batchSlots expands the scenario's batch and trace entries into app slots,
+// in declaration order. Each distinct trace file is opened once — every slot
+// (and every fork the schemes' runs make) replays a cursor over the same
+// loaded image, which is why the traces are never closed here: the mmap'd
+// words must outlive the streams, i.e. the whole run. Missing, truncated or
+// malformed trace files fail here, at experiment build time, with the
+// offending entry and path in the error.
+func batchSlots(spec scenario.Spec) ([]batchSlot, error) {
+	var out []batchSlot
+	traces := make(map[string]*tracein.Trace)
+	for i, a := range spec.Apps {
+		switch {
+		case a.Batch != "":
+			profile, err := workload.BatchByName(a.Batch)
+			if err != nil {
+				return nil, err
+			}
+			for j := 0; j < a.InstancesOrDefault(); j++ {
+				out = append(out, batchSlot{profile: profile})
+			}
+		case a.Trace != "":
+			tr, ok := traces[a.Trace]
+			if !ok {
+				var err error
+				if tr, err = tracein.Open(a.Trace); err != nil {
+					return nil, fmt.Errorf("scenario apps[%d]: %w", i, err)
+				}
+				traces[a.Trace] = tr
+			}
+			ts, err := tr.MemStream(a.TraceApp)
+			if err != nil {
+				return nil, fmt.Errorf("scenario apps[%d] (%s): %w", i, a.Trace, err)
+			}
+			out = append(out, batchSlot{profile: workload.TraceReplayProfile(), trace: ts})
 		}
 	}
 	return out, nil
@@ -196,12 +227,16 @@ func runScenarioSingle(out *ScenarioOutcome, spec scenario.Spec, schemes []scena
 		return err
 	}
 	for i := range batches {
-		ipc, err := sim.MeasureBatchBaselineIPCPooled(pool, cfg, batches[i], sim.LinesFor2MB, batches[i].ROIInstructions)
+		// Trace slots normalise against the stand-in profile's synthetic
+		// baseline (a fixed, deterministic reference): the warm pool memoises
+		// baselines by profile, and two different recordings sharing the
+		// trace-replay profile must not collide in it.
+		ipc, err := sim.MeasureBatchBaselineIPCPooled(pool, cfg, batches[i].profile, sim.LinesFor2MB, batches[i].profile.ROIInstructions)
 		if err != nil {
 			return err
 		}
 		out.BatchBaselineIPC = append(out.BatchBaselineIPC, ipc)
-		specs = append(specs, sim.AppSpec{Batch: &batches[i]})
+		specs = append(specs, sim.AppSpec{Batch: &batches[i].profile, Trace: batches[i].trace})
 	}
 
 	schedDesc := scheduleDescription(spec)
@@ -308,7 +343,9 @@ func runScenarioCluster(out *ScenarioOutcome, spec scenario.Spec, schemes []scen
 				NewPolicy: rs.NewPolicy,
 			}
 			for b := range batches {
-				node.Batch = append(node.Batch, sim.AppSpec{Batch: &batches[b]})
+				// Cluster scenarios hold no trace slots (scenario validation
+				// rejects them), so every slot here is a plain profile.
+				node.Batch = append(node.Batch, sim.AppSpec{Batch: &batches[b].profile})
 			}
 			nodes[i] = node
 		}

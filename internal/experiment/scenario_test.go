@@ -3,12 +3,14 @@ package experiment
 import (
 	"encoding/json"
 	"hash/fnv"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
 
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/tracein"
 )
 
 // outcomeDigest hashes a scenario outcome's scheme results (every latency,
@@ -56,6 +58,54 @@ func TestScenarioGoldenDigest(t *testing.T) {
 	}
 	if got := outcomeDigest(t, serial); got != goldenScenarioDigest {
 		t.Errorf("flash-crowd-failure digest = %#016x, want %#016x", got, uint64(goldenScenarioDigest))
+	}
+}
+
+// TestScenarioTraceReplayDeterministic exercises the trace lowering end to
+// end through a real file: a generated trace on disk feeds a scenario trace
+// entry, and the outcome is bit-identical between workers 1 (no warm pool)
+// and workers 4 (with one) — the loaded trace is a shared immutable image and
+// every run clones its own cursor.
+func TestScenarioTraceReplayDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario runs are slow")
+	}
+	path := filepath.Join(t.TempDir(), "phase.trace")
+	if _, err := tracein.GenerateFile(path, tracein.GenSpec{
+		Kind: tracein.KindMem, Gen: tracein.GenPhase,
+		Records: 60_000, Apps: 2, Keys: 8192, Seed: 7,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	spec := scenario.Spec{
+		Version:       1,
+		Name:          "trace-replay",
+		RequestFactor: 0.05,
+		Apps: []scenario.App{
+			{LC: "masstree", Load: 0.2},
+			{Trace: path, TraceApp: 1},
+		},
+		Schemes: []scenario.Scheme{{Name: "ubik"}, {Name: "lru"}},
+	}
+	serial, err := RunScenario(spec, 1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel4, err := RunScenario(spec, 4, sim.NewWarmPool(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Schemes, parallel4.Schemes) {
+		t.Error("trace-replay scenario outcome differs between workers 1 and 4")
+	}
+
+	// A dangling trace path fails at experiment build time with the entry
+	// named, not mid-run.
+	spec.Apps[1].Trace = filepath.Join(t.TempDir(), "missing.trace")
+	if _, err := RunScenario(spec, 1, nil, nil); err == nil {
+		t.Error("scenario with a missing trace file was accepted")
+	} else if !strings.Contains(err.Error(), "apps[1]") {
+		t.Errorf("missing-trace error does not name the entry: %v", err)
 	}
 }
 

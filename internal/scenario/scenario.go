@@ -86,14 +86,26 @@ type Machine struct {
 	IntraParallel int `json:"intra_parallel,omitempty"`
 }
 
-// App is one application entry of the mix. Exactly one of LC and Batch names
-// a profile.
+// App is one application entry of the mix. Exactly one of LC, Batch and
+// Trace identifies the workload.
 type App struct {
 	// LC names a latency-critical profile (xapian, masstree, moses, shore,
 	// specjbb).
 	LC string `json:"lc,omitempty"`
 	// Batch names a batch profile.
 	Batch string `json:"batch,omitempty"`
+	// Trace is the path of a recorded mem-kind trace file (internal/tracein
+	// format, binary or CSV). The entry runs as a batch-kind slot whose
+	// addresses replay the recording under the built-in trace-replay timing
+	// profile; load, sched and instances > 1 do not apply (a recording cannot
+	// be re-timed, and replaying one column twice would alias its address
+	// space). Single-node scenarios only. The file is opened when the
+	// experiment is built, not at validation, so specs stay portable.
+	Trace string `json:"trace,omitempty"`
+	// TraceApp selects the app column of a multi-app trace (0-based; trace
+	// entries only). List several entries with distinct columns to replay a
+	// multi-app recording side by side.
+	TraceApp int `json:"trace_app,omitempty"`
 	// Load is the latency-critical offered load in (0,1).
 	Load float64 `json:"load,omitempty"`
 	// Instances replicates the entry (0 = 1).
@@ -209,6 +221,17 @@ func (s Spec) BatchApps() []App {
 	var out []App
 	for _, a := range s.Apps {
 		if a.Batch != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// TraceApps returns the trace-replay entries in mix order.
+func (s Spec) TraceApps() []App {
+	var out []App
+	for _, a := range s.Apps {
+		if a.Trace != "" {
 			out = append(out, a)
 		}
 	}
@@ -471,11 +494,32 @@ func (s Spec) Validate() error {
 
 // validateApp checks one mix entry.
 func validateApp(i int, a App) error {
-	if (a.LC == "") == (a.Batch == "") {
-		return fmt.Errorf("scenario: apps[%d] must set exactly one of lc and batch", i)
+	kinds := 0
+	for _, set := range []bool{a.LC != "", a.Batch != "", a.Trace != ""} {
+		if set {
+			kinds++
+		}
+	}
+	if kinds != 1 {
+		return fmt.Errorf("scenario: apps[%d] must set exactly one of lc, batch and trace", i)
 	}
 	if a.Instances < 0 {
 		return fmt.Errorf("scenario: apps[%d] has negative instances %d", i, a.Instances)
+	}
+	if a.Trace == "" && a.TraceApp != 0 {
+		return fmt.Errorf("scenario: apps[%d] sets trace_app without a trace (it selects a trace file's app column)", i)
+	}
+	if a.Trace != "" {
+		if a.TraceApp < 0 {
+			return fmt.Errorf("scenario: apps[%d] has negative trace_app %d", i, a.TraceApp)
+		}
+		if a.Load != 0 || a.Sched != "" {
+			return fmt.Errorf("scenario: apps[%d] (%s) replays a recorded stream; load and sched cannot re-time it", i, a.Trace)
+		}
+		if a.InstancesOrDefault() != 1 {
+			return fmt.Errorf("scenario: apps[%d] (%s) cannot replicate a trace replay (instances %d would alias one recording's address space); list entries with distinct trace_app columns instead", i, a.Trace, a.Instances)
+		}
+		return nil
 	}
 	if a.LC != "" {
 		if _, err := workload.LCByName(a.LC); err != nil {
@@ -507,6 +551,9 @@ func (s Spec) validateCluster() error {
 	lcs := s.LCApps()
 	if len(lcs) != 1 || lcs[0].InstancesOrDefault() != 1 {
 		return fmt.Errorf("scenario: a cluster runs exactly one latency-critical replica per node; use one lc entry with instances 1")
+	}
+	if len(s.TraceApps()) > 0 {
+		return fmt.Errorf("scenario: trace replay is single-node; drop the cluster block or the trace entries")
 	}
 	fanout := c.FanoutOrDefault()
 	if fanout < 1 || fanout > c.Nodes {

@@ -183,7 +183,25 @@ func TestValidate(t *testing.T) {
 		{"missing name", func(s *Spec) { s.Name = "" }, "name is required"},
 		{"no apps", func(s *Spec) { s.Apps = nil }, "apps is required"},
 		{"no LC app", func(s *Spec) { s.Apps = []App{{Batch: "mcf"}} }, "latency-critical"},
-		{"both lc and batch", func(s *Spec) { s.Apps[0].Batch = "mcf" }, "exactly one of lc and batch"},
+		{"both lc and batch", func(s *Spec) { s.Apps[0].Batch = "mcf" }, "exactly one of lc, batch and trace"},
+		{"batch and trace", func(s *Spec) { s.Apps[1].Trace = "kv.trace" }, "exactly one of lc, batch and trace"},
+		{"trace_app without trace", func(s *Spec) { s.Apps[1].TraceApp = 1 }, "trace_app without a trace"},
+		{"negative trace_app", func(s *Spec) {
+			s.Apps[1] = App{Trace: "m.trace", TraceApp: -1}
+		}, "negative trace_app"},
+		{"trace with load", func(s *Spec) {
+			s.Apps[1] = App{Trace: "m.trace", Load: 0.3}
+		}, "load and sched cannot re-time it"},
+		{"trace with sched", func(s *Spec) {
+			s.Apps[1] = App{Trace: "m.trace", Sched: "diurnal:period=8e6,amp=0.5"}
+		}, "load and sched cannot re-time it"},
+		{"trace with instances", func(s *Spec) {
+			s.Apps[1] = App{Trace: "m.trace", Instances: 2}
+		}, "distinct trace_app columns"},
+		{"trace in a cluster", func(s *Spec) {
+			s.Cluster = &Cluster{Nodes: 2}
+			s.Apps[1] = App{Trace: "m.trace"}
+		}, "trace replay is single-node"},
 		{"unknown LC profile", func(s *Spec) { s.Apps[0].LC = "nginx" }, "nginx"},
 		{"LC load out of range", func(s *Spec) { s.Apps[0].Load = 1.5 }, "load in (0,1)"},
 		{"batch with a load", func(s *Spec) { s.Apps[1].Load = 0.5 }, "load and sched do not apply"},

@@ -274,6 +274,16 @@ type AppSpec struct {
 	// before measured ones (the cluster planner guarantees this).
 	ExplicitWarmup int
 
+	// Trace replaces the slot's synthetic address stream with a recorded one
+	// — the trace-replay analogue of Arrivals. The stream is a template: the
+	// simulator clones it at construction (sharing the immutable backing
+	// words, typically an mmap'd trace image loaded by internal/tracein), so
+	// one loaded trace deterministically seeds any number of runs, each
+	// starting from the template's cursor. The slot's profile still supplies
+	// timing (APKI, CPI, MLP, service demands); the trace supplies addresses
+	// only. Valid on both latency-critical and batch slots.
+	Trace *workload.TraceStream
+
 	// SlowWindows inflate the slot's per-request service demand over cycle
 	// windows — the fail-slow fault model: a request whose raw arrival time
 	// falls inside a window has its drawn service demand multiplied by the

@@ -20,7 +20,10 @@ type appRuntime struct {
 
 	lcApp    *workload.LCApp
 	batchApp *workload.BatchApp
-	stream   *workload.Stream
+	// stream generates the app's LLC addresses: the profile's synthetic
+	// *workload.Stream, or a *workload.TraceStream replaying a recorded trace
+	// when the spec carries one.
+	stream workload.AddressStream
 
 	// slab is the app's arena: one contiguous word block holding the UMON
 	// shadow tags (the first umonWords words) followed by the private L1/L2
@@ -155,6 +158,14 @@ func newAppRuntime(idx int, spec AppSpec, cfg Config) (*appRuntime, error) {
 			// rate, the schedule and the seeds. The cluster aggregator joins
 			// leaves back to queries by request ID, so keep the
 			// order-preserving latency copy for these slots only.
+			if ra, ok := spec.Arrivals.(*workload.ReplayArrivals); ok && ra.Remaining() < a.toGenerate {
+				// Refuse under-provisioned replays up front: past the end the
+				// process can only emit its exhaustion sentinel, which would
+				// silently stretch every missing interarrival to the sentinel
+				// gap instead of replaying recorded times.
+				return nil, fmt.Errorf("sim: app %q replays an arrival stream with %d times remaining but the run needs %d (%d warmup + %d measured); provision the full stream",
+					spec.Name(), ra.Remaining(), a.toGenerate, a.warmupRequests, spec.requestCount())
+			}
 			a.recorder.KeepPerRequest(spec.requestCount())
 			a.arrivals = spec.Arrivals
 		} else {
@@ -187,6 +198,14 @@ func newAppRuntime(idx int, spec AppSpec, cfg Config) (*appRuntime, error) {
 		a.baseCPI = spec.Batch.BaseCPI
 		a.mlpFactor = spec.Batch.MLP
 		a.roiInstructions = spec.roiInstructions()
+	}
+	if spec.Trace != nil {
+		// A recorded trace replaces the profile's synthetic address stream.
+		// The spec's stream is a template whose cursor never advances: each
+		// run clones it (sharing the immutable backing words, typically an
+		// mmap'd trace image), so one loaded trace deterministically seeds any
+		// number of concurrent runs.
+		a.stream = spec.Trace.Clone()
 	}
 	ipa := 1000 / a.apki
 	if ipa < 1 {
@@ -273,6 +292,12 @@ func (a *appRuntime) clone(llc cache.Cache) (*appRuntime, error) {
 	if a.batchApp != nil {
 		c.batchApp = a.batchApp.Clone()
 		c.stream = c.batchApp.Stream()
+	}
+	if a.spec.Trace != nil {
+		// Trace-backed slots replay through a.stream, not the profile stream
+		// the lcApp/batchApp branches just re-derived: fork the replay cursor
+		// (the backing words are immutable and stay shared).
+		c.stream = a.stream.CloneAddressStream()
 	}
 	// One allocation covers the fork's UMON tags and private levels; CloneIn /
 	// CloneWithLLCIn fill the carved regions from the parent's slab.

@@ -46,8 +46,11 @@ const maxSpecSteps = 1 << 16
 // only this struct; the live appRuntime, the shared LLC and the monitors are
 // read and written exclusively by the scheduler goroutine.
 type speculation struct {
-	// Scratch state, allocated once per app and reused across windows.
-	stream   *workload.Stream
+	// Scratch state, allocated once per app and reused across windows. The
+	// stream matches the live app's concrete type (synthetic or trace
+	// replay); it was cloned from b.stream, so the CopyAddressState re-prime
+	// before each window always applies.
+	stream   workload.AddressStream
 	hier     *cache.Hierarchy
 	clock    uint64
 	counters cpu.PerfCounters
@@ -124,13 +127,13 @@ func (s *Simulator) launchSpec(b *appRuntime) {
 			return
 		}
 		sp = &speculation{
-			stream:  b.stream.Clone(),
+			stream:  b.stream.CloneAddressStream(),
 			hier:    h,
 			pending: make([]uint64, 0, maxSpecPending),
 		}
 		b.sp = sp
 	}
-	sp.stream.CopyStateFrom(b.stream)
+	sp.stream.CopyAddressState(b.stream)
 	sp.hier.CopyPrivateStateFrom(b.hier)
 	sp.clock = b.clock
 	sp.counters = b.counters
@@ -220,7 +223,7 @@ func (s *Simulator) commitSpec(b *appRuntime) {
 	sp.wg.Wait()
 	sp.launched = false
 	clockBefore := b.clock
-	b.stream.CopyStateFrom(sp.stream)
+	b.stream.CopyAddressState(sp.stream)
 	b.hier.CopyPrivateStateFrom(sp.hier)
 	b.clock = sp.clock
 	b.counters = sp.counters

@@ -1,0 +1,221 @@
+// Package tracein is the trace datasource layer: a versioned binary/CSV
+// record format for recorded access streams, a reader with an mmap fast path
+// (bufio fallback behind a build tag), strict parse errors with record
+// offsets, and derived-trace generators (zipf, scan, phase-change, mixed)
+// that write trace files so CI and tests need no checked-in fixtures.
+//
+// Two trace kinds share one record shape:
+//
+//   - mem traces record simulator LLC accesses: (cycle, app, line address).
+//     They replay through workload.TraceStream into sim.AppSpec.
+//   - kv traces record live cache operations: (cycle, tenant, op, key, size).
+//     They replay through cacheserve.Replayer into the concurrent KV cache.
+//
+// The binary format is fully canonical — every header and record byte is
+// either meaningful or checked to be zero — so decode∘encode is the identity
+// on every accepted input (the FuzzParseTrace fixed-point property).
+package tracein
+
+import "fmt"
+
+// Binary layout constants. A file is a 24-byte header followed by
+// header.Records packed 24-byte records, nothing else.
+const (
+	// Magic is the 4-byte file signature ("UBTR", Ubik trace).
+	Magic = "UBTR"
+	// Version is the current format version.
+	Version = 1
+
+	headerBytes = 24
+	recordBytes = 24
+	recordWords = 3
+
+	// MaxValueSize bounds kv set sizes: the record packs size into 24 bits.
+	MaxValueSize = 1<<24 - 1
+)
+
+// Kind distinguishes what a trace records.
+type Kind uint8
+
+// Trace kinds.
+const (
+	// KindMem records simulator LLC line accesses (cycle, app, addr).
+	KindMem Kind = 1
+	// KindKV records live cache operations (cycle, tenant, op, key, size).
+	KindKV Kind = 2
+)
+
+// String returns the kind name used in CSV headers and flags.
+func (k Kind) String() string {
+	switch k {
+	case KindMem:
+		return "mem"
+	case KindKV:
+		return "kv"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// ParseKind converts a kind name ("mem" or "kv") into a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "mem":
+		return KindMem, nil
+	case "kv":
+		return KindKV, nil
+	default:
+		return 0, fmt.Errorf("tracein: unknown trace kind %q (want mem or kv)", s)
+	}
+}
+
+// Op is the operation a kv record performs. Mem records always carry OpAccess.
+type Op uint8
+
+// Record operations.
+const (
+	OpAccess Op = 0
+	OpGet    Op = 1
+	OpSet    Op = 2
+)
+
+// String returns the op name used in CSV records.
+func (o Op) String() string {
+	switch o {
+	case OpAccess:
+		return "access"
+	case OpGet:
+		return "get"
+	case OpSet:
+		return "set"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Record is one trace entry. For mem traces, App is the mix slot and Key the
+// LLC line address (Op and Size are zero). For kv traces, App is the tenant
+// index, Op is get or set, Key the item key and Size the set's value size in
+// bytes (zero for gets).
+type Record struct {
+	// Cycle is the record's timestamp; nondecreasing across a trace.
+	Cycle uint64
+	// App is the app slot (mem) or tenant index (kv) the record belongs to.
+	App uint32
+	// Op is the operation; OpAccess for mem traces.
+	Op Op
+	// Size is the value size in bytes for kv sets; zero otherwise.
+	Size uint32
+	// Key is the line address (mem) or item key (kv).
+	Key uint64
+}
+
+// Validate checks the record against its trace's kind and app count.
+func (r Record) Validate(kind Kind, apps int) error {
+	if int(r.App) >= apps {
+		return fmt.Errorf("app %d out of range (trace declares %d apps)", r.App, apps)
+	}
+	switch kind {
+	case KindMem:
+		if r.Op != OpAccess {
+			return fmt.Errorf("mem record carries op %s (mem traces record plain accesses)", r.Op)
+		}
+		if r.Size != 0 {
+			return fmt.Errorf("mem record carries size %d (sizes apply to kv sets only)", r.Size)
+		}
+	case KindKV:
+		switch r.Op {
+		case OpGet:
+			if r.Size != 0 {
+				return fmt.Errorf("kv get carries size %d (sizes apply to sets only)", r.Size)
+			}
+		case OpSet:
+			if r.Size == 0 {
+				return fmt.Errorf("kv set has zero size")
+			}
+			if r.Size > MaxValueSize {
+				return fmt.Errorf("kv set size %d exceeds the %d-byte format limit", r.Size, MaxValueSize)
+			}
+		default:
+			return fmt.Errorf("kv record carries op %s (want get or set)", r.Op)
+		}
+	default:
+		return fmt.Errorf("unknown trace kind %d", kind)
+	}
+	return nil
+}
+
+// Record word packing: w0 = cycle, w1 = app | op<<32 | size<<40, w2 = key.
+// Every bit of w1 is accounted for (32+8+24), so unpack∘pack is the identity
+// and the binary format stays canonical.
+
+func packMeta(r Record) uint64 {
+	return uint64(r.App) | uint64(r.Op)<<32 | uint64(r.Size)<<40
+}
+
+func unpackMeta(w uint64) (app uint32, op Op, size uint32) {
+	return uint32(w), Op(w >> 32), uint32(w >> 40)
+}
+
+// Header describes a trace file: its kind, how many records follow and how
+// many app slots (mem) or tenants (kv) the records index into.
+type Header struct {
+	Kind    Kind
+	Records uint64
+	Apps    uint64
+}
+
+func (h Header) validate() error {
+	if h.Kind != KindMem && h.Kind != KindKV {
+		return fmt.Errorf("unknown trace kind %d", h.Kind)
+	}
+	if h.Records == 0 {
+		return fmt.Errorf("trace declares zero records")
+	}
+	if h.Apps == 0 {
+		return fmt.Errorf("trace declares zero apps")
+	}
+	if h.Apps > 1<<32 {
+		return fmt.Errorf("trace declares %d apps (record app field is 32-bit)", h.Apps)
+	}
+	return nil
+}
+
+// ParseError pinpoints a malformed trace: the input name, the failing record
+// (-1 for the header) and its byte offset (binary) or line number (CSV).
+type ParseError struct {
+	// Name is the file path or input name the error occurred in.
+	Name string
+	// Record is the 0-based index of the failing record; -1 means the header.
+	Record int
+	// Offset locates the failure: a byte offset into the input, or a 1-based
+	// line number when Line is set.
+	Offset int64
+	// Line reports whether Offset is a line number (CSV) or byte offset.
+	Line bool
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	loc := fmt.Sprintf("byte offset %d", e.Offset)
+	if e.Line {
+		loc = fmt.Sprintf("line %d", e.Offset)
+	}
+	if e.Record < 0 {
+		return fmt.Sprintf("tracein: %s: header (%s): %v", e.Name, loc, e.Err)
+	}
+	return fmt.Sprintf("tracein: %s: record %d (%s): %v", e.Name, e.Record, loc, e.Err)
+}
+
+// Unwrap returns the underlying cause.
+func (e *ParseError) Unwrap() error { return e.Err }
+
+func headerErr(name string, off int64, line bool, err error) error {
+	return &ParseError{Name: name, Record: -1, Offset: off, Line: line, Err: err}
+}
+
+func recordErr(name string, rec int, off int64, line bool, err error) error {
+	return &ParseError{Name: name, Record: rec, Offset: off, Line: line, Err: err}
+}

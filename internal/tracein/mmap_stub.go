@@ -1,0 +1,16 @@
+//go:build !(linux || darwin)
+
+package tracein
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported is false where the mmap syscall surface is unavailable;
+// Open takes the buffered bufio decode path instead.
+const mmapSupported = false
+
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	return nil, nil, errors.New("tracein: mmap unsupported on this platform")
+}

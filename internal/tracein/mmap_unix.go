@@ -1,0 +1,22 @@
+//go:build linux || darwin
+
+package tracein
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the read-only mmap fast path; unix hosts map the trace
+// file and replay records straight out of the page cache.
+const mmapSupported = true
+
+// mapFile maps size bytes of f read-only and returns the image plus its
+// unmap function.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

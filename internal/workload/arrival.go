@@ -136,9 +136,14 @@ func DrawArrivals(p ArrivalProcess, n int) []uint64 {
 	return out
 }
 
-// replayExhaustedGap is the gap ReplayArrivals reports past the end of its
-// stream. The simulator never acts on it (request generation stops at the
-// slot's request count first), it only needs to move the clock forward.
+// replayExhaustedGap is the gap ReplayArrivals reports for every call past
+// the end of its stream. A correctly provisioned consumer never sees it: the
+// simulator stops generating requests at the slot's request count, and rejects
+// at construction any slot whose replay stream holds fewer times than the run
+// needs (see sim.AppSpec). The sentinel exists so that an off-by-one consumer
+// still moves its clock strictly forward instead of replaying the final time
+// silently — and Exhausted()/Overruns() make the condition observable rather
+// than a quiet repetition.
 const replayExhaustedGap = 1 << 40
 
 // ReplayArrivals replays a pre-generated arrival sequence verbatim — the
@@ -147,9 +152,18 @@ const replayExhaustedGap = 1 << 40
 // simulation consumes its share through a ReplayArrivals instance. Because
 // times are returned untouched, a single-node split reproduces the generating
 // process bit for bit.
+//
+// Exhaustion is explicit: exactly Len() recorded times exist, the Len()+1-th
+// Next call (and every later one) returns prev+replayExhaustedGap and bumps
+// Overruns(). Exhaustion state survives CloneArrival, so a clone taken
+// mid-exhaustion continues the identical (sentinel) sequence.
 type ReplayArrivals struct {
 	times []uint64
 	pos   int
+	// over counts Next calls made after the recorded times ran out. It is
+	// diagnostic state, not a cursor: each overrun call returns the sentinel
+	// gap relative to the caller's prev.
+	over int
 }
 
 // NewReplayArrivals returns a process that replays times in order. times must
@@ -159,14 +173,17 @@ func NewReplayArrivals(times []uint64) *ReplayArrivals {
 }
 
 // CloneArrival implements ClonableArrival. The (immutable) time slice is
-// shared; only the replay cursor is copied.
+// shared; the replay cursor and the overrun count are copied, so a clone taken
+// mid-exhaustion round-trips: it reports Exhausted and produces the same
+// sentinel gaps the original would.
 func (r *ReplayArrivals) CloneArrival() ArrivalProcess {
-	return &ReplayArrivals{times: r.times, pos: r.pos}
+	return &ReplayArrivals{times: r.times, pos: r.pos, over: r.over}
 }
 
 // Next implements ArrivalProcess.
 func (r *ReplayArrivals) Next(prev uint64) uint64 {
 	if r.pos >= len(r.times) {
+		r.over++
 		return prev + replayExhaustedGap
 	}
 	t := r.times[r.pos]
@@ -174,8 +191,19 @@ func (r *ReplayArrivals) Next(prev uint64) uint64 {
 	return t
 }
 
+// Len returns the total number of recorded arrival times.
+func (r *ReplayArrivals) Len() int { return len(r.times) }
+
 // Remaining returns how many replay times have not been consumed yet.
 func (r *ReplayArrivals) Remaining() int { return len(r.times) - r.pos }
+
+// Exhausted reports whether every recorded time has been consumed.
+func (r *ReplayArrivals) Exhausted() bool { return r.pos >= len(r.times) }
+
+// Overruns returns how many Next calls were answered with the exhaustion
+// sentinel rather than a recorded time. Any nonzero value means the consumer
+// asked for more arrivals than were provisioned.
+func (r *ReplayArrivals) Overruns() int { return r.over }
 
 // UniformArrivals produces deterministic, evenly spaced arrivals; useful in
 // tests and for isolating queueing effects.

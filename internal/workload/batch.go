@@ -198,6 +198,24 @@ func BatchByName(name string) (BatchProfile, error) {
 	return p, nil
 }
 
+// TraceReplayProfile returns the timing profile trace-replay app slots run
+// under. A replayed trace supplies addresses only; the core-side parameters
+// (APKI, CPI, MLP) still have to come from a profile, and the layer set is
+// just the synthetic stand-in the slot is constructed with before the trace
+// stream replaces it. The parameters are a moderate cache-friendly shape so
+// replay slots neither dominate nor vanish in a mix by construction.
+func TraceReplayProfile() BatchProfile {
+	return BatchProfile{
+		Name:            "trace-replay",
+		Class:           CacheFriendly,
+		APKI:            12,
+		BaseCPI:         0.8,
+		MLP:             2.0,
+		Layers:          []Layer{{Name: "replay", Lines: 4096, Weight: 1}},
+		ROIInstructions: 1_500_000,
+	}
+}
+
 // BatchByClass returns the names of all batch profiles in the given class,
 // sorted, so mixes can be drawn per class.
 func BatchByClass(class BatchClass) []string {
